@@ -1,0 +1,33 @@
+// Command fleetprofile prints the fleet 99%-ile memory bandwidth CDF
+// (paper Fig. 2).
+//
+// Usage:
+//
+//	fleetprofile [-machines 10000] [-seed 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kelp/internal/experiments"
+	"kelp/internal/fleet"
+)
+
+func main() {
+	machines := flag.Int("machines", 10000, "fleet size")
+	seed := flag.Int64("seed", 2, "random seed")
+	flag.Parse()
+
+	cfg := fleet.DefaultConfig()
+	cfg.Machines = *machines
+	cfg.Seed = *seed
+
+	rows, above70, err := experiments.Figure2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetprofile:", err)
+		os.Exit(1)
+	}
+	fmt.Println(experiments.Figure2Table(rows, above70))
+}

@@ -1,0 +1,195 @@
+// Command kelpbench regenerates every table and figure of the paper's
+// evaluation and prints the result tables.
+//
+// Usage:
+//
+//	kelpbench [-exp all|table1|fig2|fig3|fig5|fig7|fig9|fig10|fig13|fig14|fig15|fig16] [-quick]
+//
+// -quick shortens warmup/measure windows for a fast smoke run; the shapes
+// hold but averages are noisier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kelp/internal/experiments"
+	"kelp/internal/fleet"
+	"kelp/internal/sim"
+	"kelp/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma-separated), or 'all'")
+	quick := flag.Bool("quick", false, "short windows for a smoke run")
+	outdir := flag.String("outdir", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "kelpbench:", err)
+			os.Exit(1)
+		}
+	}
+	emit := func(name string, t *experiments.Table) error {
+		fmt.Println(t)
+		if *outdir == "" {
+			return nil
+		}
+		return t.SaveCSV(filepath.Join(*outdir, name+".csv"))
+	}
+
+	h := experiments.NewHarness()
+	if *quick {
+		h.Warmup = 1 * sim.Second
+		h.Measure = 1 * sim.Second
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		return emit("table1", experiments.Table1Table())
+	})
+	run("fig2", func() error {
+		rows, above70, err := experiments.Figure2(fleet.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		return emit("fig2", experiments.Figure2Table(rows, above70))
+	})
+	run("fig3", func() error {
+		r, err := experiments.Figure3(trace.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if err := emit("fig3", experiments.Figure3Table(r)); err != nil {
+			return err
+		}
+		fmt.Println("standalone:", r.Standalone.Render(0.2e-3))
+		fmt.Println("colocated :", r.Colocated.Render(0.2e-3))
+		fmt.Println()
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := experiments.Figure5(h)
+		if err != nil {
+			return err
+		}
+		return emit("fig5", experiments.SensitivityTable("Figure 5: workload sensitivity to shared resource interference", rows))
+	})
+	run("fig7", func() error {
+		rows, err := experiments.Figure7(h)
+		if err != nil {
+			return err
+		}
+		return emit("fig7", experiments.BackpressureTable(rows))
+	})
+	run("fig9", func() error {
+		rows, err := experiments.Figure9(h)
+		if err != nil {
+			return err
+		}
+		experiments.NormalizeCPU(rows, 1)
+		if err := emit("fig9", experiments.CaseStudyTable(
+			"Figures 9 & 11: CNN1 + Stitch sweep", "Stitch instances", rows)); err != nil {
+			return err
+		}
+		fmt.Println(experiments.CaseStudyChart("Fig. 9a: CNN1 perf vs Stitch instances", rows))
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := experiments.Figure10(h)
+		if err != nil {
+			return err
+		}
+		experiments.NormalizeCPU(rows, 2)
+		if err := emit("fig10", experiments.CaseStudyTable(
+			"Figures 10 & 12: RNN1 + CPUML sweep", "CPUML threads", rows)); err != nil {
+			return err
+		}
+		fmt.Println(experiments.CaseStudyChart("Fig. 10a: RNN1 QPS vs CPUML threads", rows))
+		return nil
+	})
+	var overall []experiments.OverallRow
+	run("fig13", func() error {
+		rows, err := experiments.Figure13(h)
+		if err != nil {
+			return err
+		}
+		overall = rows
+		return emit("fig13", experiments.OverallTable(rows))
+	})
+	run("fig14", func() error {
+		if overall == nil {
+			rows, err := experiments.Figure13(h)
+			if err != nil {
+				return err
+			}
+			overall = rows
+		}
+		return emit("fig14", experiments.EfficiencyTable(experiments.Figure14(overall)))
+	})
+	run("fig15", func() error {
+		rows, err := experiments.Figure15(h)
+		if err != nil {
+			return err
+		}
+		return emit("fig15", experiments.SensitivityTable("Figure 15: sensitivity including remote memory interference", rows))
+	})
+	run("knee", func() error {
+		rows, err := experiments.KneeSweep(h, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("knee", experiments.KneeTable(rows)); err != nil {
+			return err
+		}
+		fmt.Println(experiments.KneeChart(rows))
+		return nil
+	})
+	run("ratio", func() error {
+		rows, err := experiments.RatioSweep(h)
+		if err != nil {
+			return err
+		}
+		return emit("ratio", experiments.RatioTable(rows))
+	})
+	run("futurework", func() error {
+		rows, err := experiments.FutureWork(h)
+		if err != nil {
+			return err
+		}
+		return emit("futurework", experiments.FutureWorkTable(rows))
+	})
+	run("fig16", func() error {
+		rows, err := experiments.Figure16(h)
+		if err != nil {
+			return err
+		}
+		return emit("fig16", experiments.RemoteSweepTable(rows))
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "kelpbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Command kelpd runs a managed node behind an HTTP API: admission
+// (POST /tasks), simulation control (POST /advance), a Prometheus-style
+// /metrics endpoint, and the sysfs-style control surface under /fs/.
+//
+// Usage:
+//
+//	kelpd [-addr :8080] [-policy KP] [-profile prof.json]
+//
+// Example session:
+//
+//	curl -XPOST localhost:8080/tasks -d '{"ml":"CNN1","cores":2}'
+//	curl -XPOST localhost:8080/tasks -d '{"kind":"Stitch"}'
+//	curl -XPOST localhost:8080/advance -d '{"ms":2000}'
+//	curl localhost:8080/metrics
+//	curl localhost:8080/fs/cgroup/low/cpuset.cpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"kelp/internal/agent"
+	"kelp/internal/httpd"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/profile"
+	"kelp/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	polFlag := flag.String("policy", "KP", "isolation policy: BL, CT, KP-SD, KP, HW-FG, MBA")
+	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
+	flag.Parse()
+
+	pol, err := scenario.ParsePolicy(*polFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelpd:", err)
+		os.Exit(2)
+	}
+	profiles := profile.NewRegistry()
+	if *profilePath != "" {
+		p, err := profile.Load(*profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kelpd:", err)
+			os.Exit(1)
+		}
+		if err := profiles.Put(p); err != nil {
+			fmt.Fprintln(os.Stderr, "kelpd:", err)
+			os.Exit(1)
+		}
+	}
+	opts := policy.DefaultOptions()
+	a, err := agent.New(agent.Config{
+		Node:     node.DefaultConfig(),
+		Policy:   pol,
+		Options:  opts,
+		Profiles: profiles,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelpd:", err)
+		os.Exit(1)
+	}
+	srv, err := httpd.New(a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelpd:", err)
+		os.Exit(1)
+	}
+	log.Printf("kelpd: policy %s, listening on %s", pol, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

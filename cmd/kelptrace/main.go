@@ -1,0 +1,49 @@
+// Command kelptrace prints the RNN1 execution timeline (paper Fig. 3):
+// standalone versus colocated with a DRAM antagonist.
+//
+// Usage:
+//
+//	kelptrace [-level H] [-requests 4] [-res 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kelp/internal/experiments"
+	"kelp/internal/trace"
+	"kelp/internal/workload"
+)
+
+func main() {
+	level := flag.String("level", "H", "aggressor level: L, M, H")
+	requests := flag.Int("requests", 4, "requests to trace")
+	res := flag.Float64("res", 0.2, "timeline resolution, ms per character")
+	flag.Parse()
+
+	cfg := trace.DefaultConfig()
+	cfg.Requests = *requests
+	switch strings.ToUpper(*level) {
+	case "L":
+		cfg.Level = workload.LevelLow
+	case "M":
+		cfg.Level = workload.LevelMedium
+	case "H":
+		cfg.Level = workload.LevelHigh
+	default:
+		fmt.Fprintf(os.Stderr, "kelptrace: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	r, err := trace.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelptrace:", err)
+		os.Exit(1)
+	}
+	fmt.Println(experiments.Figure3Table(r))
+	fmt.Println("C = CPU assist, A = accelerator, - = PCIe transfer, . = idle")
+	fmt.Println("standalone:", r.Standalone.Render(*res*1e-3))
+	fmt.Println("colocated :", r.Colocated.Render(*res*1e-3))
+}

@@ -1,0 +1,67 @@
+package kelp_test
+
+import (
+	"fmt"
+
+	"kelp"
+)
+
+// ExampleApply shows the library's core flow: configure the Kelp policy on
+// a node, colocate an accelerated training task with a bandwidth-hungry
+// batch job, and observe that the training task holds its standalone rate.
+func ExampleApply() {
+	n := kelp.MustNode(kelp.DefaultNodeConfig())
+	applied, err := kelp.Apply(n, kelp.Kelp, kelp.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+
+	cnn1, _ := kelp.NewCNN1(kelp.NewCloudTPU())
+	_ = n.AddTask(cnn1, applied.ML)
+	agg, _ := kelp.NewDRAMAggressor(kelp.LevelHigh)
+	_ = n.AddTask(agg, applied.Low)
+
+	n.Run(2 * kelp.Second)
+	n.StartMeasurement()
+	n.Run(1 * kelp.Second)
+
+	// 98 steps/s is CNN1's standalone rate on this node.
+	fmt.Printf("CNN1 under Kelp: %.0f steps/s\n", cnn1.Throughput(n.Now()))
+	// Output:
+	// CNN1 under Kelp: 98 steps/s
+}
+
+// ExampleNewControlFS drives a node through the sysfs-style control
+// surface, with the Linux cpulist and resctrl schemata formats.
+func ExampleNewControlFS() {
+	n := kelp.MustNode(kelp.DefaultNodeConfig())
+	fs, err := kelp.NewControlFS(n)
+	if err != nil {
+		panic(err)
+	}
+	_ = fs.Mkdir("/cgroup/batch")
+	_ = fs.WriteFile("/cgroup/batch/cpuset.cpus", "8-15")
+	_ = fs.WriteFile("/resctrl/batch/schemata", "L3:0=7f0\nMB:0=50")
+
+	cpus, _ := fs.ReadFile("/cgroup/batch/cpuset.cpus")
+	schemata, _ := fs.ReadFile("/resctrl/batch/schemata")
+	fmt.Println(cpus)
+	fmt.Println(schemata)
+	// Output:
+	// 8-15
+	// L3:0=7f0
+	// MB:0=50
+}
+
+// ExampleDefaultProfile shows the per-application QoS profile flow: the
+// scheduler ships a JSON profile, and the agent materializes it into the
+// runtime's watermarks.
+func ExampleDefaultProfile() {
+	prof := kelp.DefaultProfile("CNN1")
+	wm := prof.Materialize(kelp.DefaultNodeConfig().Memory)
+	fmt.Printf("latency watermark: %.0f ns\n", wm.LatencyHigh*1e9)
+	fmt.Printf("saturation watermark: %.2f\n", wm.SaturationHigh)
+	// Output:
+	// latency watermark: 180 ns
+	// saturation watermark: 0.05
+}

@@ -1,0 +1,82 @@
+// Node agent: the paper's deployment model (§IV-D). A Borglet-style agent
+// admits the accelerated task with its JSON QoS profile, applies the Kelp
+// policy, and places batch tasks — low subdomain first, backfill after.
+// The node's state is then inspected through the sysfs-style control
+// surface, exactly as an operator would on a production host.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kelp"
+)
+
+func main() {
+	// The cluster scheduler ships a profile with the accelerated task.
+	profiles := kelp.NewProfileRegistry()
+	prof := kelp.DefaultProfile("CNN1")
+	prof.SamplePeriodSec = 0.1 // sim-scaled control period
+	if err := profiles.Put(prof); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := kelp.DefaultOptions()
+	opts.SamplePeriod = 0 // defer to the profile
+	agent, err := kelp.NewAgent(kelp.AgentConfig{
+		Node:     kelp.DefaultNodeConfig(),
+		Policy:   kelp.Kelp,
+		Options:  opts,
+		Profiles: profiles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Admit the high-priority accelerated task (2 reserved cores), then a
+	// stream of batch work.
+	cnn1, err := kelp.NewCNN1(kelp.NewCloudTPU())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := agent.AdmitML(cnn1, 2); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		stitch, err := kelp.NewStitch(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agent.AdmitBatch(stitch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	agent.Run(3 * kelp.Second)
+	agent.StartMeasurement()
+	agent.Run(2 * kelp.Second)
+
+	n := agent.Node()
+	fmt.Printf("CNN1: %.1f steps/s\n", cnn1.Throughput(n.Now()))
+	rt := agent.Applied().Runtime
+	fmt.Printf("kelp runtime: prefetchers=%d lowCores=%d backfill=%d (%d decisions)\n\n",
+		rt.LowPrefetchers(), rt.LowCores(), rt.BackfillCores(), len(rt.History()))
+
+	// Inspect the node through the control filesystem.
+	fs, err := kelp.NewControlFS(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, _ := fs.ReadDir("/cgroup")
+	for _, g := range groups {
+		cpus, _ := fs.ReadFile("/cgroup/" + g + "/cpuset.cpus")
+		prio, _ := fs.ReadFile("/cgroup/" + g + "/priority")
+		schemata, _ := fs.ReadFile("/resctrl/" + g + "/schemata")
+		fmt.Printf("/cgroup/%-9s priority=%-4s cpus=%-12s %s\n",
+			g, prio, cpus, strings.ReplaceAll(schemata, "\n", " "))
+	}
+	counters, _ := fs.ReadFile("/proc/counters")
+	fmt.Println("\n/proc/counters:")
+	fmt.Println(counters)
+}

@@ -1,0 +1,3 @@
+module kelp
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package agent is the node-level scheduler integration the paper deploys
+// Kelp inside (§IV-D: "Kelp is designed to run with the node-level
+// scheduler runtime (e.g. Borglet) in order to gather necessary task
+// information such as job priority and profile"). The agent admits tasks
+// with priorities, loads the accelerated task's QoS profile, configures the
+// chosen isolation policy, and places low-priority tasks — preferring the
+// low-priority subdomain, backfilling the rest, exactly the paper's
+// placement rule.
+package agent
+
+import (
+	"fmt"
+
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/profile"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// Config parameterizes an agent.
+type Config struct {
+	// Node is the machine to manage.
+	Node node.Config
+	// Policy is the isolation configuration to run.
+	Policy policy.Kind
+	// Options are the policy options; MLCores is taken from the first
+	// admitted accelerated task if left zero here.
+	Options policy.Options
+	// Profiles supplies per-application watermarks; nil uses defaults.
+	Profiles *profile.Registry
+}
+
+// Agent manages one node.
+type Agent struct {
+	cfg      Config
+	n        *node.Node
+	applied  *policy.Applied
+	mlName   string
+	batchSeq int
+}
+
+// New builds the node. The policy is applied lazily on the first ML
+// admission so the accelerated task's profile and core reservation can
+// parameterize it.
+func New(cfg Config) (*Agent, error) {
+	n, err := node.New(cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = profile.NewRegistry()
+	}
+	return &Agent{cfg: cfg, n: n}, nil
+}
+
+// Node exposes the managed node.
+func (a *Agent) Node() *node.Node { return a.n }
+
+// Applied returns the policy application, or nil before ML admission.
+func (a *Agent) Applied() *policy.Applied { return a.applied }
+
+// AdmitML schedules the accelerated high-priority task, loading its
+// profile and applying the policy. Only one accelerated task per machine,
+// per the paper's usage model (§II-A).
+func (a *Agent) AdmitML(t workload.Task, cores int) error {
+	if t == nil {
+		return fmt.Errorf("agent: nil task")
+	}
+	if a.mlName != "" {
+		return fmt.Errorf("agent: accelerated task %q already admitted (exclusive per node, §II-A)", a.mlName)
+	}
+	if cores < 1 {
+		return fmt.Errorf("agent: cores = %d", cores)
+	}
+
+	prof := a.cfg.Profiles.Get(t.Name())
+	opts := a.cfg.Options
+	// The core reservation comes with the scheduling request.
+	opts.MLCores = cores
+	if opts.SamplePeriod == 0 {
+		opts.SamplePeriod = prof.SamplePeriodSec
+	}
+	if opts.MinLowCores == 0 {
+		opts.MinLowCores = prof.MinLowCores
+	}
+	if opts.MaxBackfillCores == 0 {
+		opts.MaxBackfillCores = prof.MaxBackfillCores
+	}
+	if opts.Watermarks == nil {
+		wm := prof.Materialize(a.cfg.Node.Memory)
+		opts.Watermarks = &wm
+	}
+
+	applied, err := policy.Apply(a.n, a.cfg.Policy, opts)
+	if err != nil {
+		return err
+	}
+	if err := a.n.AddTask(t, applied.ML); err != nil {
+		return err
+	}
+	a.applied = applied
+	a.mlName = t.Name()
+	return nil
+}
+
+// AdmitBatch schedules a low-priority task. Per the paper, "CPU tasks are
+// prioritized to be assigned to the low priority subdomain"; under the full
+// Kelp policy every fourth admission backfills the high-priority subdomain
+// instead, where the runtime grows its cores only when the system is calm.
+func (a *Agent) AdmitBatch(t workload.Task) error {
+	if t == nil {
+		return fmt.Errorf("agent: nil task")
+	}
+	if a.applied == nil {
+		return fmt.Errorf("agent: admit the accelerated task first")
+	}
+	group := a.applied.Low
+	a.batchSeq++
+	if a.applied.Backfill != "" && a.batchSeq%4 == 0 {
+		group = a.applied.Backfill
+	}
+	return a.n.AddTask(t, group)
+}
+
+// Evict removes a task by name. Evicting the accelerated task frees the
+// slot for a new one, but the policy configuration remains.
+func (a *Agent) Evict(name string) error {
+	if err := a.n.RemoveTask(name); err != nil {
+		return err
+	}
+	if name == a.mlName {
+		a.mlName = ""
+	}
+	return nil
+}
+
+// MLTask returns the admitted accelerated task's name ("" if none).
+func (a *Agent) MLTask() string { return a.mlName }
+
+// Run advances the managed node.
+func (a *Agent) Run(d sim.Duration) { a.n.Run(d) }
+
+// StartMeasurement begins the measured interval on every task.
+func (a *Agent) StartMeasurement() { a.n.StartMeasurement() }

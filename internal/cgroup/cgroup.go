@@ -1,0 +1,256 @@
+// Package cgroup models the node-level resource control surface Kelp
+// actuates through: task groups with CPU masks (cpusets), NUMA memory
+// policies (numactl bindings), cache-way allocations (Intel CAT class-of-
+// service masks), and priorities (the Borg tier of each task).
+//
+// On a real machine these map to /sys/fs/cgroup, mbind/set_mempolicy, and
+// resctrl; here they parameterize how the node package builds memory flows
+// and schedules task work.
+package cgroup
+
+import (
+	"fmt"
+	"sort"
+
+	"kelp/internal/cpu"
+)
+
+// Priority is a task's scheduling tier.
+type Priority int
+
+// Priorities. The paper's model has one high-priority accelerated task and
+// multiple low-priority (best-effort) CPU tasks per machine.
+const (
+	Low Priority = iota
+	High
+)
+
+// String returns the priority name.
+func (p Priority) String() string {
+	if p == High {
+		return "high"
+	}
+	return "low"
+}
+
+// MemPolicy is a task group's NUMA memory binding.
+type MemPolicy struct {
+	// Socket holds the group's data.
+	Socket int
+	// Subdomain holds the group's data when SNC is enabled.
+	Subdomain int
+}
+
+// Group is one task group (one cgroup directory).
+type Group struct {
+	name     string
+	priority Priority
+	cpus     cpu.Set
+	mem      MemPolicy
+	llcWays  uint64 // CAT mask; 0 = all ways
+	mba      int    // MBA throttle percent; 0 means unset (=100)
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Priority returns the group's tier.
+func (g *Group) Priority() Priority { return g.priority }
+
+// CPUs returns the group's CPU mask (do not mutate).
+func (g *Group) CPUs() cpu.Set { return g.cpus }
+
+// MemPolicy returns the group's NUMA binding.
+func (g *Group) MemPolicy() MemPolicy { return g.mem }
+
+// LLCWays returns the group's CAT way mask (0 means all ways).
+func (g *Group) LLCWays() uint64 { return g.llcWays }
+
+// MBAPercent returns the group's Memory Bandwidth Allocation throttle level
+// in percent (100 = unthrottled).
+func (g *Group) MBAPercent() int {
+	if g.mba == 0 {
+		return 100
+	}
+	return g.mba
+}
+
+// Manager owns all task groups on a node.
+type Manager struct {
+	proc   *cpu.Processor
+	groups map[string]*Group
+}
+
+// NewManager returns a manager bound to the node's processor.
+func NewManager(proc *cpu.Processor) *Manager {
+	return &Manager{proc: proc, groups: make(map[string]*Group)}
+}
+
+// Create makes a new group. The group starts with no CPUs; callers must
+// assign a cpuset before tasks in it can run.
+func (m *Manager) Create(name string, prio Priority) (*Group, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cgroup: empty group name")
+	}
+	if _, ok := m.groups[name]; ok {
+		return nil, fmt.Errorf("cgroup: group %q already exists", name)
+	}
+	g := &Group{name: name, priority: prio}
+	m.groups[name] = g
+	return g, nil
+}
+
+// Group returns the named group.
+func (m *Manager) Group(name string) (*Group, error) {
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("cgroup: no group %q", name)
+	}
+	return g, nil
+}
+
+// Remove deletes the named group.
+func (m *Manager) Remove(name string) error {
+	if _, ok := m.groups[name]; !ok {
+		return fmt.Errorf("cgroup: no group %q", name)
+	}
+	delete(m.groups, name)
+	return nil
+}
+
+// Groups returns all groups sorted by name for deterministic iteration.
+func (m *Manager) Groups() []*Group {
+	names := make([]string, 0, len(m.groups))
+	for n := range m.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Group, len(names))
+	for i, n := range names {
+		out[i] = m.groups[n]
+	}
+	return out
+}
+
+// SetCPUs assigns a CPU mask to a group. Every core must exist.
+func (m *Manager) SetCPUs(name string, cpus cpu.Set) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	for _, id := range cpus {
+		if _, err := m.proc.Core(id); err != nil {
+			return fmt.Errorf("cgroup: group %q: %w", name, err)
+		}
+	}
+	g.cpus = append(cpu.Set(nil), cpus...)
+	return nil
+}
+
+// SetMemPolicy binds a group's memory to (socket, subdomain).
+func (m *Manager) SetMemPolicy(name string, pol MemPolicy) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	topo := m.proc.Topology()
+	if pol.Socket < 0 || pol.Socket >= topo.Sockets {
+		return fmt.Errorf("cgroup: group %q: socket %d out of range", name, pol.Socket)
+	}
+	if pol.Subdomain < 0 || pol.Subdomain >= topo.SubdomainsPerSocket {
+		return fmt.Errorf("cgroup: group %q: subdomain %d out of range", name, pol.Subdomain)
+	}
+	g.mem = pol
+	return nil
+}
+
+// SetPriority changes a group's scheduling tier (re-tiering a running
+// cgroup, as cluster schedulers do when a task's class changes).
+func (m *Manager) SetPriority(name string, prio Priority) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	g.priority = prio
+	return nil
+}
+
+// SetLLCWays assigns a CAT way mask to a group (0 restores all ways).
+func (m *Manager) SetLLCWays(name string, mask uint64) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	g.llcWays = mask
+	return nil
+}
+
+// SetMBA sets the group's Memory Bandwidth Allocation throttle (Intel MBA,
+// paper §VI-D) in percent, 10..100 in steps of 10 as on real hardware.
+// Note the documented hardware limitation, which the simulation reproduces:
+// the rate controller throttles traffic from the core to the interconnect
+// and LLC as well, so MBA slows cache-resident work too.
+func (m *Manager) SetMBA(name string, percent int) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	if percent < 10 || percent > 100 || percent%10 != 0 {
+		return fmt.Errorf("cgroup: group %q: MBA percent %d (want 10..100 step 10)", name, percent)
+	}
+	g.mba = percent
+	return nil
+}
+
+// SetPrefetch toggles L2 prefetchers on every core of the group's cpuset —
+// the actuator Kelp's ConfigLoPriority drives.
+func (m *Manager) SetPrefetch(name string, on bool) error {
+	g, err := m.Group(name)
+	if err != nil {
+		return err
+	}
+	for _, id := range g.cpus {
+		if err := m.proc.SetPrefetch(id, on); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetPrefetchCount enables prefetchers on the first n cores of the group's
+// cpuset and disables them on the rest. It returns the number actually
+// enabled. This is the fractional actuation Fig. 7 sweeps ("percentage of
+// prefetchers disabled").
+func (m *Manager) SetPrefetchCount(name string, n int) (int, error) {
+	g, err := m.Group(name)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > len(g.cpus) {
+		n = len(g.cpus)
+	}
+	for i, id := range g.cpus {
+		if err := m.proc.SetPrefetch(id, i < n); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// PrefetchersOn counts cores in the group with prefetchers enabled.
+func (m *Manager) PrefetchersOn(name string) (int, error) {
+	g, err := m.Group(name)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range g.cpus {
+		if m.proc.PrefetchOn(id) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,183 @@
+// Package cluster models distributed synchronous training (the paper's
+// Fig. 1 workflow and §II-D): a set of workers, each an accelerated node
+// with a host-side parameter-server share, training in lock step. Every
+// global step completes only when the slowest worker finishes — Dean &
+// Barroso's "tail at scale" amplification, which the paper cites as the
+// reason per-node interference is magnified at service level.
+//
+// Each worker is simulated as an independent node (deterministic, seeded);
+// the lock-step barrier is composed afterwards from the workers' recorded
+// step-completion times.
+package cluster
+
+import (
+	"fmt"
+
+	"kelp/internal/metrics"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// WorkerSpec configures one worker node.
+type WorkerSpec struct {
+	// Aggressor colocates a DRAM antagonist with the worker.
+	Aggressor bool
+	Level     workload.Level
+	// Policy optionally applies an isolation configuration on the worker
+	// (policy.Baseline by default). Protecting the straggler node recovers
+	// the whole lock-step service — the paper's service-level motivation
+	// run end to end.
+	Policy policy.Kind
+}
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Workers describes each worker node.
+	Workers []WorkerSpec
+	// Node is the per-worker hardware configuration.
+	Node node.Config
+	// MLCores reserved for the training task on each worker.
+	MLCores int
+	// Warmup and Measure bound the per-worker simulation.
+	Warmup, Measure sim.Duration
+	// MakeTask constructs the per-worker training task (for example
+	// workload.NewCNN3).
+	MakeTask func() (*workload.Training, error)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("cluster: no workers")
+	}
+	if c.MLCores < 1 {
+		return fmt.Errorf("cluster: MLCores = %d", c.MLCores)
+	}
+	if c.Warmup <= 0 || c.Measure <= 0 {
+		return fmt.Errorf("cluster: warmup/measure must be positive")
+	}
+	if c.MakeTask == nil {
+		return fmt.Errorf("cluster: MakeTask required")
+	}
+	return c.Node.Validate()
+}
+
+// WorkerResult is one worker's standalone outcome.
+type WorkerResult struct {
+	// StepsPerSec is the worker's own training rate.
+	StepsPerSec float64
+	// StepTimes are completion timestamps within the measured interval.
+	StepTimes []float64
+}
+
+// Result is the cluster outcome.
+type Result struct {
+	Workers []WorkerResult
+	// StepsPerSec is the lock-step service rate (gated by the slowest
+	// worker each step).
+	StepsPerSec float64
+	// P95StepTime is the 95%-ile global step duration, seconds.
+	P95StepTime float64
+	// MeanStepTime is the mean global step duration, seconds.
+	MeanStepTime float64
+	// Amplification is the service-level slowdown versus the mean worker:
+	// mean worker rate / lock-step rate (>= 1; the tail-at-scale factor).
+	Amplification float64
+}
+
+// Run simulates all workers and composes the lock-step service rate.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for i, spec := range cfg.Workers {
+		w, err := runWorker(cfg, i, spec)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		res.Workers = append(res.Workers, *w)
+	}
+
+	// Lock-step composition: global step k completes when the slowest
+	// worker finishes its k-th step.
+	minSteps := len(res.Workers[0].StepTimes)
+	for _, w := range res.Workers {
+		if len(w.StepTimes) < minSteps {
+			minSteps = len(w.StepTimes)
+		}
+	}
+	if minSteps < 2 {
+		return nil, fmt.Errorf("cluster: too few steps measured (%d)", minSteps)
+	}
+	var durations []float64
+	prev := 0.0
+	for k := 0; k < minSteps; k++ {
+		barrier := 0.0
+		for _, w := range res.Workers {
+			if w.StepTimes[k] > barrier {
+				barrier = w.StepTimes[k]
+			}
+		}
+		if k > 0 {
+			durations = append(durations, barrier-prev)
+		}
+		prev = barrier
+	}
+	res.MeanStepTime = metrics.Mean(durations)
+	res.P95StepTime = metrics.Percentile(durations, 95)
+	if res.MeanStepTime > 0 {
+		res.StepsPerSec = 1 / res.MeanStepTime
+	}
+	var rates []float64
+	for _, w := range res.Workers {
+		rates = append(rates, w.StepsPerSec)
+	}
+	if mean := metrics.Mean(rates); res.StepsPerSec > 0 && mean > 0 {
+		res.Amplification = mean / res.StepsPerSec
+	}
+	return res, nil
+}
+
+// runWorker simulates one worker node under its configured policy.
+func runWorker(cfg Config, idx int, spec WorkerSpec) (*WorkerResult, error) {
+	ncfg := cfg.Node
+	ncfg.Seed = cfg.Node.Seed + int64(idx)*7919
+	n, err := node.New(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := policy.DefaultOptions()
+	opts.MLCores = cfg.MLCores
+	applied, err := policy.Apply(n, spec.Policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	task, err := cfg.MakeTask()
+	if err != nil {
+		return nil, err
+	}
+	task.RecordStepTimes(true)
+	if err := n.AddTask(task, applied.ML); err != nil {
+		return nil, err
+	}
+	if spec.Aggressor {
+		agg, err := workload.NewDRAMAggressor(spec.Level)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.AddTask(agg, applied.Low); err != nil {
+			return nil, err
+		}
+	}
+	n.Run(cfg.Warmup)
+	task.RecordStepTimes(true) // reset recorded warmup steps
+	n.StartMeasurement()
+	n.Run(cfg.Measure)
+	return &WorkerResult{
+		StepsPerSec: task.Throughput(n.Now()),
+		StepTimes:   append([]float64(nil), task.StepTimes()...),
+	}, nil
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"kelp/internal/accel"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+func testConfig(workers []WorkerSpec) Config {
+	return Config{
+		Workers: workers,
+		Node:    node.DefaultConfig(),
+		MLCores: 4,
+		Warmup:  1 * sim.Second,
+		Measure: 3 * sim.Second,
+		MakeTask: func() (*workload.Training, error) {
+			return workload.NewCNN3(accel.NewGPU())
+		},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := testConfig(make([]WorkerSpec, 2))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Workers = nil },
+		func(c *Config) { c.MLCores = 0 },
+		func(c *Config) { c.Warmup = 0 },
+		func(c *Config) { c.Measure = 0 },
+		func(c *Config) { c.MakeTask = nil },
+		func(c *Config) { c.Node.Step = 0 },
+	}
+	for i, mut := range mutations {
+		c := testConfig(make([]WorkerSpec, 2))
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	bad := testConfig(nil)
+	if _, err := Run(bad); err == nil {
+		t.Error("Run accepted invalid config")
+	}
+}
+
+func TestCleanClusterHasNoAmplification(t *testing.T) {
+	r, err := Run(testConfig(make([]WorkerSpec, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workers) != 3 {
+		t.Fatalf("got %d workers", len(r.Workers))
+	}
+	if r.Amplification > 1.1 {
+		t.Errorf("clean cluster amplification = %.3f, want ~1", r.Amplification)
+	}
+	if r.StepsPerSec <= 0 || r.P95StepTime <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+}
+
+func TestSingleStragglerDragsService(t *testing.T) {
+	clean, err := Run(testConfig(make([]WorkerSpec, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]WorkerSpec, 3)
+	specs[0] = WorkerSpec{Aggressor: true, Level: workload.LevelHigh}
+	contended, err := Run(testConfig(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail amplification: the whole service runs at the straggler's pace.
+	if !(contended.StepsPerSec < clean.StepsPerSec*0.8) {
+		t.Errorf("service rate %.2f with straggler, want well below clean %.2f",
+			contended.StepsPerSec, clean.StepsPerSec)
+	}
+	if !(contended.Amplification > 1.2) {
+		t.Errorf("amplification = %.3f, want > 1.2 with one straggler", contended.Amplification)
+	}
+	// The straggler worker itself is the slow one.
+	if !(contended.Workers[0].StepsPerSec < contended.Workers[1].StepsPerSec) {
+		t.Error("contended worker should be slower than clean peers")
+	}
+}
+
+func TestKelpRescuesTheStraggler(t *testing.T) {
+	// End-to-end service story: one contended worker drags the lock-step
+	// service; running Kelp on that worker recovers it.
+	mkSpecs := func(pol policy.Kind) []WorkerSpec {
+		specs := make([]WorkerSpec, 3)
+		specs[0] = WorkerSpec{Aggressor: true, Level: workload.LevelHigh, Policy: pol}
+		return specs
+	}
+	unprotected, err := Run(testConfig(mkSpecs(policy.Baseline)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Run(testConfig(mkSpecs(policy.Kelp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(protected.StepsPerSec > unprotected.StepsPerSec*1.2) {
+		t.Errorf("Kelp on the straggler: %.2f steps/s, want well above %.2f",
+			protected.StepsPerSec, unprotected.StepsPerSec)
+	}
+	if !(protected.Amplification < unprotected.Amplification) {
+		t.Errorf("amplification %.3f, want below %.3f",
+			protected.Amplification, unprotected.Amplification)
+	}
+}
+
+func TestWorkersAreDeterministicButDistinct(t *testing.T) {
+	a, err := Run(testConfig(make([]WorkerSpec, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(make([]WorkerSpec, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Workers {
+		if a.Workers[i].StepsPerSec != b.Workers[i].StepsPerSec {
+			t.Error("identical configs diverged")
+		}
+	}
+}

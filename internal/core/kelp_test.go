@@ -1,0 +1,347 @@
+package core
+
+import (
+	"testing"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/node"
+	"kelp/internal/perfmon"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// testNode builds an SNC-enabled node with an ML group in subdomain 0 and
+// low/backfill groups ready for the runtime.
+func testNode(t *testing.T) *node.Node {
+	t.Helper()
+	cfg := node.DefaultConfig()
+	cfg.Memory.SNCEnabled = true
+	n, err := node.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		name string
+		prio cgroup.Priority
+	}{{"ml", cgroup.High}, {"low", cgroup.Low}, {"backfill", cgroup.Low}} {
+		if _, err := n.Cgroups().Create(g.name, g.prio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Cgroups().SetCPUs("ml", n.Processor().SubdomainCores(0, 0).Take(6))
+	n.Cgroups().SetMemPolicy("ml", cgroup.MemPolicy{Socket: 0, Subdomain: 0})
+	n.Cgroups().SetMemPolicy("low", cgroup.MemPolicy{Socket: 0, Subdomain: 1})
+	n.Cgroups().SetMemPolicy("backfill", cgroup.MemPolicy{Socket: 0, Subdomain: 0})
+	return n
+}
+
+func testConfig(n *node.Node) Config {
+	mem := n.Config().Memory
+	return Config{
+		Socket:           0,
+		HighSubdomain:    0,
+		LowSubdomain:     1,
+		LowGroup:         "low",
+		BackfillGroup:    "backfill",
+		Watermarks:       DefaultWatermarks(mem.BWPerController, mem.BaseLatency),
+		MinLowCores:      2,
+		MaxLowCores:      14,
+		MinBackfillCores: 0,
+		MaxBackfillCores: 6,
+		SamplePeriod:     0.1,
+	}
+}
+
+func TestWatermarksValidate(t *testing.T) {
+	if err := DefaultWatermarks(38.4e9, 90e-9).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultWatermarks(38.4e9, 90e-9)
+	bad.LatencyLow = bad.LatencyHigh + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted latency watermarks accepted")
+	}
+	var zero Watermarks
+	if err := zero.Validate(); err == nil {
+		t.Error("zero watermarks accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	n := testNode(t)
+	good := testConfig(n)
+	if _, err := New(n, good); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Socket = 9 },
+		func(c *Config) { c.HighSubdomain = 9 },
+		func(c *Config) { c.LowSubdomain = c.HighSubdomain },
+		func(c *Config) { c.LowGroup = "" },
+		func(c *Config) { c.LowGroup = "ghost" },
+		func(c *Config) { c.BackfillGroup = "ghost" },
+		func(c *Config) { c.MinLowCores = 0 },
+		func(c *Config) { c.MaxLowCores = 1 },
+		func(c *Config) { c.MaxLowCores = 99 },
+		func(c *Config) { c.MaxBackfillCores = -1 },
+		func(c *Config) { c.SamplePeriod = 0 },
+		func(c *Config) { c.Watermarks.SaturationHigh = 0 },
+	}
+	for i, mut := range mutations {
+		n := testNode(t)
+		c := testConfig(n)
+		mut(&c)
+		if _, err := New(n, c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := New(nil, good); err == nil {
+		t.Error("nil node accepted")
+	}
+}
+
+func TestInitialEnforcement(t *testing.T) {
+	n := testNode(t)
+	r, err := New(n, testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowGroup, _ := n.Cgroups().Group("low")
+	if got := lowGroup.CPUs().Len(); got != 14 {
+		t.Errorf("low group starts with %d cores, want 14", got)
+	}
+	if on, _ := n.Cgroups().PrefetchersOn("low"); on != 14 {
+		t.Errorf("low group prefetchers = %d, want 14", on)
+	}
+	bf, _ := n.Cgroups().Group("backfill")
+	if got := bf.CPUs().Len(); got != 0 {
+		t.Errorf("backfill starts with %d cores, want 0", got)
+	}
+	if r.LowCores() != 14 || r.BackfillCores() != 0 || r.LowPrefetchers() != 14 {
+		t.Errorf("actuators = %d/%d/%d", r.LowCores(), r.BackfillCores(), r.LowPrefetchers())
+	}
+}
+
+func TestDecideBranches(t *testing.T) {
+	n := testNode(t)
+	r, err := New(n, testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := r.cfg.Watermarks
+	mk := func(bwS, latS, satS, bwH float64) Decision {
+		s := samplerFor(bwS, latS, satS, bwH)
+		return r.decide(0, s)
+	}
+
+	// Calm system: both boost.
+	d := mk(w.SocketBWLow*0.5, w.LatencyLow*0.5, 0, w.HiPriorityBWLow*0.5)
+	if d.ActionHigh != Boost || d.ActionLow != Boost {
+		t.Errorf("calm: %v/%v, want BOOST/BOOST", d.ActionHigh, d.ActionLow)
+	}
+
+	// High socket bandwidth: low side throttles.
+	d = mk(w.SocketBWHigh*1.2, w.LatencyLow*0.5, 0, w.HiPriorityBWLow*0.5)
+	if d.ActionLow != Throttle {
+		t.Errorf("hi socket bw: ActionLow = %v, want THROTTLE", d.ActionLow)
+	}
+
+	// High latency throttles both sides.
+	d = mk(w.SocketBWLow*0.5, w.LatencyHigh*2, 0, w.HiPriorityBWLow*0.5)
+	if d.ActionHigh != Throttle || d.ActionLow != Throttle {
+		t.Errorf("hi latency: %v/%v, want THROTTLE/THROTTLE", d.ActionHigh, d.ActionLow)
+	}
+
+	// Saturation alone throttles the low side only.
+	d = mk(w.SocketBWLow*0.5, w.LatencyLow*0.5, w.SaturationHigh*2, w.HiPriorityBWLow*0.5)
+	if d.ActionLow != Throttle {
+		t.Errorf("saturation: ActionLow = %v, want THROTTLE", d.ActionLow)
+	}
+	if d.ActionHigh != Boost {
+		t.Errorf("saturation: ActionHigh = %v, want BOOST (hi side calm)", d.ActionHigh)
+	}
+
+	// High-priority bandwidth high throttles the high side.
+	d = mk(w.SocketBWLow*0.5, w.LatencyLow*0.5, 0, w.HiPriorityBWHigh*1.2)
+	if d.ActionHigh != Throttle {
+		t.Errorf("hi subdomain bw: ActionHigh = %v, want THROTTLE", d.ActionHigh)
+	}
+
+	// In-between: NOP.
+	d = mk((w.SocketBWLow+w.SocketBWHigh)/2, (w.LatencyLow+w.LatencyHigh)/2,
+		(w.SaturationLow+w.SaturationHigh)/2, (w.HiPriorityBWLow+w.HiPriorityBWHigh)/2)
+	if d.ActionHigh != NOP || d.ActionLow != NOP {
+		t.Errorf("mid: %v/%v, want NOP/NOP", d.ActionHigh, d.ActionLow)
+	}
+}
+
+// samplerFor fabricates a perfmon sample for decide tests.
+func samplerFor(bwS, latS, satS, bwH float64) (s sampleAlias) {
+	s.Elapsed = 1
+	s.SocketBW = []float64{bwS, 0}
+	s.SocketLatency = []float64{latS, 0}
+	s.SocketSaturation = []float64{satS, 0}
+	s.SocketBackpressure = []float64{1, 1}
+	s.ControllerBW = [][]float64{{bwH, bwS - bwH}, {0, 0}}
+	s.ControllerLatency = [][]float64{{latS, latS}, {0, 0}}
+	return s
+}
+
+func TestConfigLoPriorityHalvesPrefetchersFirst(t *testing.T) {
+	n := testNode(t)
+	r, _ := New(n, testConfig(n))
+	// 14 -> 7 -> 3 -> 1 -> 0 -> then cores shrink.
+	want := []int{7, 3, 1, 0}
+	for _, w := range want {
+		r.configLoPriority(Throttle)
+		if r.LowPrefetchers() != w {
+			t.Fatalf("prefetchers = %d, want %d", r.LowPrefetchers(), w)
+		}
+		if r.LowCores() != 14 {
+			t.Fatalf("cores shrank before prefetchers exhausted")
+		}
+	}
+	r.configLoPriority(Throttle)
+	if r.LowCores() != 13 {
+		t.Errorf("cores = %d after prefetchers exhausted, want 13", r.LowCores())
+	}
+	// Respect the floor.
+	for i := 0; i < 50; i++ {
+		r.configLoPriority(Throttle)
+	}
+	if r.LowCores() != r.cfg.MinLowCores {
+		t.Errorf("cores = %d, want floor %d", r.LowCores(), r.cfg.MinLowCores)
+	}
+}
+
+func TestConfigLoPriorityBoostRestoresPrefetchersThenCores(t *testing.T) {
+	n := testNode(t)
+	r, _ := New(n, testConfig(n))
+	// Throttle to the floor first.
+	for i := 0; i < 50; i++ {
+		r.configLoPriority(Throttle)
+	}
+	if r.LowPrefetchers() != 0 || r.LowCores() != 2 {
+		t.Fatalf("floor state = %d pf / %d cores", r.LowPrefetchers(), r.LowCores())
+	}
+	r.configLoPriority(Boost)
+	if r.LowPrefetchers() != 1 || r.LowCores() != 2 {
+		t.Fatalf("first boost should restore a prefetcher: %d pf / %d cores",
+			r.LowPrefetchers(), r.LowCores())
+	}
+	r.configLoPriority(Boost) // pf = 2 = cores
+	r.configLoPriority(Boost) // now cores grow
+	if r.LowCores() != 3 {
+		t.Errorf("cores = %d, want 3 after prefetchers caught up", r.LowCores())
+	}
+	// Boost to the ceiling.
+	for i := 0; i < 100; i++ {
+		r.configLoPriority(Boost)
+	}
+	if r.LowCores() != r.cfg.MaxLowCores || r.LowPrefetchers() != r.cfg.MaxLowCores {
+		t.Errorf("ceiling = %d pf / %d cores", r.LowPrefetchers(), r.LowCores())
+	}
+}
+
+func TestConfigHiPriorityBounds(t *testing.T) {
+	n := testNode(t)
+	r, _ := New(n, testConfig(n))
+	for i := 0; i < 20; i++ {
+		r.configHiPriority(Boost)
+	}
+	if r.BackfillCores() != r.cfg.MaxBackfillCores {
+		t.Errorf("backfill = %d, want max %d", r.BackfillCores(), r.cfg.MaxBackfillCores)
+	}
+	for i := 0; i < 20; i++ {
+		r.configHiPriority(Throttle)
+	}
+	if r.BackfillCores() != r.cfg.MinBackfillCores {
+		t.Errorf("backfill = %d, want min %d", r.BackfillCores(), r.cfg.MinBackfillCores)
+	}
+}
+
+func TestBackfillDisabledWithoutGroup(t *testing.T) {
+	n := testNode(t)
+	cfg := testConfig(n)
+	cfg.BackfillGroup = ""
+	r, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.configHiPriority(Boost)
+	if r.BackfillCores() != 0 {
+		t.Error("backfill grew without a backfill group")
+	}
+}
+
+func TestControlLoopThrottlesUnderAggression(t *testing.T) {
+	n := testNode(t)
+	cfg := testConfig(n)
+	r, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, _ := workload.NewDRAMAggressor(workload.LevelHigh)
+	if err := n.AddTask(agg, "low"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Engine().AddController("kelp", cfg.SamplePeriod, r); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3 * sim.Second)
+	if len(r.History()) < 10 {
+		t.Fatalf("only %d decisions", len(r.History()))
+	}
+	last := r.History()[len(r.History())-1]
+	if last.LowPrefetchers >= 14 {
+		t.Errorf("prefetchers never throttled: %+v", last)
+	}
+	// Saturation should have been observed at some point.
+	sawSat := false
+	for _, d := range r.History() {
+		if d.Saturation > 0 {
+			sawSat = true
+		}
+	}
+	if !sawSat {
+		t.Error("control loop never observed saturation despite DRAM-H")
+	}
+}
+
+func TestControlLoopBoostsWhenCalm(t *testing.T) {
+	n := testNode(t)
+	cfg := testConfig(n)
+	r, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny, quiet task.
+	calm, _ := workload.NewLoop("calm", workload.LoopConfig{
+		Threads: 2, UnitWork: 1e-3,
+		Mem: workload.MemProfile{StreamBWPerCore: 0.1 * workload.GB},
+	})
+	if err := n.AddTask(calm, "low"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Engine().AddController("kelp", cfg.SamplePeriod, r); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3 * sim.Second)
+	if r.BackfillCores() != cfg.MaxBackfillCores {
+		t.Errorf("backfill = %d under calm system, want max %d",
+			r.BackfillCores(), cfg.MaxBackfillCores)
+	}
+	if r.LowPrefetchers() != cfg.MaxLowCores {
+		t.Errorf("prefetchers = %d under calm system, want %d",
+			r.LowPrefetchers(), cfg.MaxLowCores)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if NOP.String() != "NOP" || Throttle.String() != "THROTTLE" || Boost.String() != "BOOST" {
+		t.Error("action strings wrong")
+	}
+}
+
+// sampleAlias keeps the fabricated-sample helper readable.
+type sampleAlias = perfmon.Sample

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more named series as an ASCII line chart — terminal
+// approximations of the paper's figures, printed by kelpbench alongside the
+// tables.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 12)
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	glyph  byte
+	xs, ys []float64
+}
+
+// NewChart returns an empty chart.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 60, Height: 12}
+}
+
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends a named series; up to six series get distinct glyphs.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("chart: series %q has %d/%d points", name, len(xs), len(ys))
+	}
+	glyph := chartGlyphs[len(c.series)%len(chartGlyphs)]
+	c.series = append(c.series, chartSeries{name: name, glyph: glyph, xs: xs, ys: ys})
+	return nil
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	if len(c.series) == 0 {
+		return fmt.Sprintf("== %s ==\n(no data)\n", c.Title)
+	}
+	w, h := c.Width, c.Height
+	if w < 10 {
+		w = 10
+	}
+	if h < 4 {
+		h = 4
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, s.ys[i])
+			maxY = math.Max(maxY, s.ys[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(s chartSeries) {
+		for i := range s.xs {
+			col := int((s.xs[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((s.ys[i]-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = s.glyph
+		}
+	}
+	for _, s := range c.series {
+		plot(s)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", c.Title)
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-10.3g%*s\n", strings.Repeat(" ", pad), minX, w-10, fmt.Sprintf("%.3g", maxX))
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.glyph, s.name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// KneeChart renders the RNN1 knee sweep as a latency-vs-load curve.
+func KneeChart(rows []KneeRow) *Chart {
+	c := NewChart("RNN1 p95 latency vs offered load")
+	var xs, ys []float64
+	for _, r := range rows {
+		xs = append(xs, r.OfferedQPS)
+		ys = append(ys, r.TailLatency*1e3)
+	}
+	_ = c.AddSeries("p95 ms", xs, ys)
+	return c
+}
+
+// CaseStudyChart renders one metric of a case-study sweep per policy.
+func CaseStudyChart(title string, rows []CaseStudyRow) *Chart {
+	c := NewChart(title)
+	byPolicy := map[string][][2]float64{}
+	var order []string
+	for _, r := range rows {
+		k := r.Policy.String()
+		if _, ok := byPolicy[k]; !ok {
+			order = append(order, k)
+		}
+		byPolicy[k] = append(byPolicy[k], [2]float64{float64(r.Load), r.MLPerf})
+	}
+	for _, k := range order {
+		pts := byPolicy[k]
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		_ = c.AddSeries(k, xs, ys)
+	}
+	return c
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kelp/internal/policy"
+)
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("demo")
+	if err := c.AddSeries("up", []float64{0, 1, 2}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("down", []float64{0, 1, 2}, []float64{3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	for _, want := range []string{"demo", "legend:", "* up", "o down", "+--"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+	// Axis labels carry the extremes.
+	if !strings.Contains(s, "3") || !strings.Contains(s, "1") {
+		t.Error("chart missing axis labels")
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	c := NewChart("bad")
+	if err := c.AddSeries("mismatch", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if err := c.AddSeries("empty", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	c := NewChart("flat")
+	if err := c.AddSeries("const", []float64{5, 5, 5}, []float64{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if !strings.Contains(s, "*") {
+		t.Errorf("flat series not plotted:\n%s", s)
+	}
+}
+
+func TestKneeAndCaseStudyCharts(t *testing.T) {
+	knee := KneeChart([]KneeRow{
+		{OfferedQPS: 100, TailLatency: 0.008},
+		{OfferedQPS: 400, TailLatency: 0.050},
+	})
+	if !strings.Contains(knee.String(), "p95 ms") {
+		t.Error("knee chart missing series")
+	}
+	cs := CaseStudyChart("cs", []CaseStudyRow{
+		{Load: 1, Policy: policy.Baseline, MLPerf: 1},
+		{Load: 2, Policy: policy.Baseline, MLPerf: 0.5},
+		{Load: 1, Policy: policy.Kelp, MLPerf: 1},
+		{Load: 2, Policy: policy.Kelp, MLPerf: 0.99},
+	})
+	rendered := cs.String()
+	if !strings.Contains(rendered, "BL") || !strings.Contains(rendered, "KP") {
+		t.Errorf("case-study chart missing policies:\n%s", rendered)
+	}
+}

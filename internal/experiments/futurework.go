@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"kelp/internal/metrics"
+	"kelp/internal/policy"
+)
+
+// FutureWork runs the paper's §VI-D estimate: the proposed hardware
+// fine-grained memory isolation (request-level prioritization plus
+// per-thread backpressure) against the paper's evaluated configurations on
+// all twelve mixes. The paper predicts the hardware mechanism achieves ML
+// performance at least as good as Subdomain (no channel fragmentation, so
+// no latency penalty at high bandwidth) while exceeding CoreThrottle's and
+// Kelp's CPU throughput (full-socket bandwidth remains usable).
+func FutureWork(h *Harness) ([]OverallRow, error) {
+	var rows []OverallRow
+	for _, ml := range MLKinds() {
+		for _, cpuKind := range BatchKinds() {
+			mix, err := MixFor(cpuKind)
+			if err != nil {
+				return nil, err
+			}
+			var blCPU float64
+			for _, k := range policy.AllKinds() {
+				r, err := h.RunNormalized(ml, mix, k)
+				if err != nil {
+					return nil, err
+				}
+				if k == policy.Baseline {
+					blCPU = r.CPUUnits
+				}
+				row := OverallRow{
+					ML: ml, CPU: cpuKind, Policy: k,
+					MLPerf:   r.MLPerf,
+					CPUUnits: r.CPUUnits,
+				}
+				if r.MLPerf > 0 {
+					row.MLSlowdown = 1 / r.MLPerf
+				}
+				if r.CPUUnits > 0 && blCPU > 0 {
+					row.CPUSlowdown = blCPU / r.CPUUnits
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// SummarizeAll aggregates rows for every configuration present, including
+// the fine-grained extension.
+func SummarizeAll(rows []OverallRow) []OverallSummary {
+	out := make([]OverallSummary, 0, 5)
+	for _, k := range policy.AllKinds() {
+		var slowdowns, cpuRatios []float64
+		for _, r := range rows {
+			if r.Policy != k {
+				continue
+			}
+			slowdowns = append(slowdowns, r.MLSlowdown)
+			if r.CPUSlowdown > 0 {
+				cpuRatios = append(cpuRatios, 1/r.CPUSlowdown)
+			}
+		}
+		if len(slowdowns) == 0 {
+			continue
+		}
+		out = append(out, OverallSummary{
+			Policy:            k,
+			MeanMLSlowdown:    metrics.Mean(slowdowns),
+			MeanCPUThroughput: metrics.HarmonicMean(cpuRatios),
+		})
+	}
+	return out
+}
+
+// FutureWorkTable renders the §VI-D comparison.
+func FutureWorkTable(rows []OverallRow) *Table {
+	t := NewTable("Section VI-D: fine-grained hardware memory isolation estimate",
+		"Policy", "Mean ML slowdown", "Mean CPU throughput (vs BL)")
+	for _, s := range SummarizeAll(rows) {
+		t.AddRow(s.Policy, s.MeanMLSlowdown, s.MeanCPUThroughput)
+	}
+	return t
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kelp/internal/fleet"
+	"kelp/internal/trace"
+)
+
+// Figure2Row is one grid point of the fleet bandwidth CDF (Fig. 2).
+type Figure2Row struct {
+	// PeakBWPct is the bandwidth grid point as a percentage of peak.
+	PeakBWPct int
+	// MachinesPct is the percentage of machines whose 99%-ile bandwidth is
+	// at or below the grid point.
+	MachinesPct float64
+}
+
+// Figure2 generates the fleet census and returns its CDF. The paper's
+// headline: 16% of machines exceed 70% of peak bandwidth.
+func Figure2(cfg fleet.Config) ([]Figure2Row, float64, error) {
+	c, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	cdf := c.CDF(grid)
+	rows := make([]Figure2Row, len(cdf))
+	for i, p := range cdf {
+		rows[i] = Figure2Row{PeakBWPct: int(p[0]*100 + 0.5), MachinesPct: p[1] * 100}
+	}
+	return rows, c.FractionAbove(0.70), nil
+}
+
+// Figure2Table renders the census.
+func Figure2Table(rows []Figure2Row, above70 float64) *Table {
+	t := NewTable("Figure 2: fleet 99%-ile memory bandwidth CDF",
+		"Peak BW", "Machines at or below")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d%%", r.PeakBWPct), fmt.Sprintf("%.1f%%", r.MachinesPct))
+	}
+	t.AddRow("above 70% of peak", fmt.Sprintf("%.1f%% of machines", above70*100))
+	return t
+}
+
+// Figure3 runs the execution-timeline trace: RNN1 on the TPU platform,
+// standalone versus colocated with a heavy DRAM antagonist. The paper's
+// headline: CPU phases stretch by ~51% while accelerator phases do not.
+func Figure3(cfg trace.Config) (*trace.Result, error) {
+	return trace.Run(cfg)
+}
+
+// Figure3Table renders the phase breakdown.
+func Figure3Table(r *trace.Result) *Table {
+	t := NewTable("Figure 3: RNN1 execution timeline (standalone vs colocated)",
+		"Run", "CPU time", "Accel time", "Xfer time", "Span")
+	for _, row := range []struct {
+		name string
+		tl   trace.Timeline
+	}{{"Standalone", r.Standalone}, {"Colocated", r.Colocated}} {
+		t.AddRow(row.name,
+			fmt.Sprintf("%.2fms", row.tl.PhaseTotal("cpu")*1e3),
+			fmt.Sprintf("%.2fms", row.tl.PhaseTotal("accel")*1e3),
+			fmt.Sprintf("%.2fms", row.tl.PhaseTotal("xfer")*1e3),
+			fmt.Sprintf("%.2fms", row.tl.Span()*1e3))
+	}
+	t.AddRow("CPU stretch", fmt.Sprintf("%.2fx", r.CPUStretch), "", "", "")
+	t.AddRow("Accel stretch", fmt.Sprintf("%.2fx", r.AccelStretch), "", "", "")
+	return t
+}

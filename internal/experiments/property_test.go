@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"kelp/internal/policy"
+	"kelp/internal/workload"
+)
+
+// randomMix draws a small random low-priority mix.
+func randomMix(rng *rand.Rand) []CPUSpec {
+	n := 1 + rng.Intn(3)
+	var specs []CPUSpec
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			specs = append(specs, CPUSpec{Kind: Stream, Threads: 2 + rng.Intn(8)})
+		case 1:
+			specs = append(specs, CPUSpec{Kind: Stitch})
+		case 2:
+			specs = append(specs, CPUSpec{Kind: CPUML, Threads: 2 + rng.Intn(10)})
+		default:
+			specs = append(specs, CPUSpec{Kind: DRAMAggressor,
+				Level: workload.Level(rng.Intn(3))})
+		}
+	}
+	specs[len(specs)-1].Backfill = true
+	return specs
+}
+
+// TestKelpDominatesBaselineProperty checks the central claim across random
+// mixes: Kelp's ML performance is never meaningfully below Baseline's, and
+// colocation never pushes ML above its standalone rate by more than the
+// SNC latency bonus allows.
+func TestKelpDominatesBaselineProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property test")
+	}
+	h := quickHarness()
+	rng := rand.New(rand.NewSource(11))
+	mls := MLKinds()
+	for trial := 0; trial < 6; trial++ {
+		ml := mls[rng.Intn(len(mls))]
+		mix := randomMix(rng)
+		bl, err := h.RunNormalized(ml, mix, policy.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, err := h.RunNormalized(ml, mix, policy.Kelp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kp.MLPerf < bl.MLPerf-0.03 {
+			t.Errorf("trial %d (%s + %d tasks): KP %v below BL %v",
+				trial, ml, len(mix), kp.MLPerf, bl.MLPerf)
+		}
+		for name, r := range map[string]*NormResult{"BL": bl, "KP": kp} {
+			if r.MLPerf <= 0 || r.MLPerf > 1.10 {
+				t.Errorf("trial %d (%s, %s): ML perf %v out of range",
+					trial, ml, name, r.MLPerf)
+			}
+			if r.CPUUnits < 0 {
+				t.Errorf("trial %d: negative CPU units", trial)
+			}
+		}
+	}
+}
+
+// TestMoreLoadNeverHelpsMLProperty: growing the same antagonist never
+// improves the unmanaged ML task.
+func TestMoreLoadNeverHelpsMLProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property test")
+	}
+	h := quickHarness()
+	prev := 2.0
+	for _, threads := range []int{2, 6, 12} {
+		r, err := h.RunNormalized(CNN3,
+			[]CPUSpec{{Kind: Stream, Threads: threads}}, policy.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MLPerf > prev+0.02 {
+			t.Errorf("ML perf rose to %v with %d antagonist threads (prev %v)",
+				r.MLPerf, threads, prev)
+		}
+		prev = r.MLPerf
+	}
+}
+
+// TestCPUUnitsBoundedByCoresProperty: no policy can mint CPU throughput
+// beyond the socket's core capacity at full rate.
+func TestCPUUnitsBoundedByCoresProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property test")
+	}
+	h := quickHarness()
+	mix, err := MixFor(Stitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stitch work unit = 5 ms of core time: 28 cores can mint at most
+	// 28/0.005 = 5600 units/s, and the ML task holds some cores.
+	const ceiling = 5600.0
+	for _, k := range policy.AllKinds() {
+		r, err := h.RunNormalized(CNN1, mix, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CPUUnits > ceiling {
+			t.Errorf("%s minted %v units/s, above the %v core ceiling", k, r.CPUUnits, ceiling)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kelp/internal/policy"
+	"kelp/internal/workload"
+	"os"
+)
+
+func TestCaseStudyTableRendering(t *testing.T) {
+	rows := []CaseStudyRow{
+		{ML: CNN1, Load: 3, Policy: policy.Kelp, MLPerf: 0.99, CPUUnits: 1234,
+			Prefetchers: 7, BackfillCores: 4, ThrottleCores: 14},
+	}
+	s := CaseStudyTable("demo", "instances", rows).String()
+	for _, want := range []string{"demo", "KP", "0.990", "1234"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNormalizeCPU(t *testing.T) {
+	rows := []CaseStudyRow{
+		{Load: 1, Policy: policy.Baseline, CPUUnits: 100},
+		{Load: 2, Policy: policy.Kelp, CPUUnits: 150},
+	}
+	NormalizeCPU(rows, 1)
+	if rows[0].CPUUnits != 1 || rows[1].CPUUnits != 1.5 {
+		t.Errorf("normalized = %+v", rows)
+	}
+	// Missing reference leaves values untouched.
+	rows2 := []CaseStudyRow{{Load: 5, Policy: policy.Kelp, CPUUnits: 10}}
+	NormalizeCPU(rows2, 1)
+	if rows2[0].CPUUnits != 10 {
+		t.Error("NormalizeCPU without reference changed values")
+	}
+}
+
+func TestBackpressureTableRendering(t *testing.T) {
+	rows := []BackpressureRow{
+		{ML: CNN1, Level: workload.LevelHigh, PrefetchersOffPct: 50, Perf: 0.5, Saturation: 1},
+	}
+	s := BackpressureTable(rows).String()
+	for _, want := range []string{"Aggress-H", "50%", "0.500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFutureWorkTableRendering(t *testing.T) {
+	rows := []OverallRow{
+		{ML: CNN1, CPU: Stream, Policy: policy.FineGrained, MLSlowdown: 1.0, CPUSlowdown: 1.1},
+		{ML: CNN1, CPU: Stream, Policy: policy.Kelp, MLSlowdown: 1.05, CPUSlowdown: 1.2},
+	}
+	s := FutureWorkTable(rows).String()
+	if !strings.Contains(s, "HW-FG") || !strings.Contains(s, "KP") {
+		t.Errorf("future-work table incomplete:\n%s", s)
+	}
+}
+
+func TestKneeAndRatioTableRendering(t *testing.T) {
+	knee := KneeTable([]KneeRow{{OfferedQPS: 300, AchievedQPS: 295, TailLatency: 0.010}})
+	if !strings.Contains(knee.String(), "300") {
+		t.Error("knee table incomplete")
+	}
+	ratio := RatioTable([]RatioRow{{ML: CNN2, HostShare: 0.37, Perf: 0.55}})
+	if !strings.Contains(ratio.String(), "0.37") {
+		t.Error("ratio table incomplete")
+	}
+	remote := RemoteSweepTable([]RemoteSweepRow{{ML: CNN1, DataLocalPct: 25, ThreadsLocalPct: 50, Slowdown: 2.5}})
+	if !strings.Contains(remote.String(), "25%") {
+		t.Error("remote table incomplete")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1.25)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if got != "a,b\nx,1.250\n" {
+		t.Errorf("CSV = %q", got)
+	}
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != got {
+		t.Error("SaveCSV differs from WriteCSV")
+	}
+}
+
+func TestNewTaskBuilders(t *testing.T) {
+	l, err := NewCPUTask(CPUSpec{Kind: Stream, Threads: 4}, 7, 38.5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "Stream#7" || l.Config().Threads != 4 {
+		t.Errorf("task = %s/%d", l.Name(), l.Config().Threads)
+	}
+	if _, err := NewCPUTask(CPUSpec{Kind: CPUKind(99)}, 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+// Table1Row is one row of the paper's Table I: the accelerated platforms
+// and production workloads with their interaction types and intensities.
+type Table1Row struct {
+	Workload     string
+	Platform     string
+	Description  string
+	Interaction  string
+	CPUIntensity string
+	MemIntensity string
+	// MLCores and HostShare are the model parameters realizing the
+	// qualitative intensities.
+	MLCores int
+}
+
+// Table1 returns the workload inventory.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"RNN1 Inference", "TPU", "Natural language processing", "Beam search", "Medium", "Low", RNN1.MLCores()},
+		{"CNN1 Training", "CloudTPU", "Image recognition", "Data in-feed", "Low", "Low", CNN1.MLCores()},
+		{"CNN2 Training", "CloudTPU", "Image recognition", "Data in-feed", "High", "Medium", CNN2.MLCores()},
+		{"CNN3 Training", "GPU", "Image recognition", "Parameter server", "Low", "High", CNN3.MLCores()},
+	}
+}
+
+// Table1Table renders Table I.
+func Table1Table() *Table {
+	t := NewTable("Table I: Accelerated ML platforms and workloads",
+		"Workload", "Platform", "Description", "CPU-Accel Interaction", "CPU Intensity", "Host Mem Intensity", "ML cores")
+	for _, r := range Table1() {
+		t.AddRow(r.Workload, r.Platform, r.Description, r.Interaction, r.CPUIntensity, r.MemIntensity, r.MLCores)
+	}
+	return t
+}

@@ -1,0 +1,302 @@
+// Package httpd serves a managed node over HTTP — the operational front a
+// production Kelp deployment would expose to its cluster scheduler and
+// monitoring stack. It wraps the node agent (admission), the sysfs-style
+// control surface (configuration), and the performance monitor (a
+// Prometheus-style text metrics endpoint).
+//
+// The simulation only advances when POST /advance is called, so the daemon
+// is deterministic and fully scriptable:
+//
+//	GET  /healthz            liveness
+//	GET  /topology           machine shape (JSON)
+//	GET  /tasks              tasks with current throughput (JSON)
+//	POST /tasks              admit a task (scenario.TaskSpec JSON; ML via {"ml": "CNN1", "cores": 2})
+//	POST /advance            {"ms": 500} advance simulated time
+//	GET  /metrics            Prometheus text format (reads a counter window)
+//	GET  /fs/<path>          read a control file or list a directory
+//	PUT  /fs/<path>          write a control file (body = value)
+//	POST /fs/<path>          mkdir
+//	DELETE /fs/<path>        rmdir
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"kelp/internal/accel"
+	"kelp/internal/agent"
+	"kelp/internal/experiments"
+	"kelp/internal/resctrlfs"
+	"kelp/internal/scenario"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// Server is the HTTP front over one managed node.
+type Server struct {
+	mu    sync.Mutex
+	agent *agent.Agent
+	fs    *resctrlfs.FS
+	seq   int
+}
+
+// New wraps an agent.
+func New(a *agent.Agent) (*Server, error) {
+	if a == nil {
+		return nil, fmt.Errorf("httpd: nil agent")
+	}
+	fs, err := resctrlfs.New(a.Node())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{agent: a, fs: fs}, nil
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/topology", s.handleTopology)
+	mux.HandleFunc("/tasks", s.handleTasks)
+	mux.HandleFunc("/advance", s.handleAdvance)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/fs/", s.handleFS)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.agent.Node()
+	topo := n.Processor().Topology()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sockets":               topo.Sockets,
+		"cores_per_socket":      topo.CoresPerSocket,
+		"subdomains_per_socket": topo.SubdomainsPerSocket,
+		"snc_enabled":           n.Memory().Config().SNCEnabled,
+		"now_sec":               n.Now(),
+	})
+}
+
+// admitRequest is the POST /tasks body: either an accelerated task
+// ({"ml": "CNN1", "cores": 2}) or a batch task (scenario.TaskSpec fields).
+type admitRequest struct {
+	ML    string `json:"ml,omitempty"`
+	Cores int    `json:"cores,omitempty"`
+	scenario.TaskSpec
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		n := s.agent.Node()
+		type taskInfo struct {
+			Name       string  `json:"name"`
+			Throughput float64 `json:"throughput"`
+		}
+		var out []taskInfo
+		for _, t := range n.Tasks() {
+			out = append(out, taskInfo{Name: t.Name(), Throughput: t.Throughput(n.Now())})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req admitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.ML != "" {
+			ml, err := scenario.ParseML(req.ML)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			cores := req.Cores
+			if cores == 0 {
+				cores = ml.MLCores()
+			}
+			task, err := buildMLTask(s.agent, ml, cores)
+			if err != nil {
+				writeErr(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"admitted": task})
+			return
+		}
+		spec := scenario.Spec{ML: "CNN1", Policy: "BL", CPU: []scenario.TaskSpec{req.TaskSpec}}
+		resolved, err := spec.Resolve()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.seq++
+		task, err := experiments.NewCPUTask(resolved.CPU[0], s.seq,
+			s.agent.Node().Config().Memory.LLCSize)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.agent.AdmitBatch(task); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"admitted": task.Name()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}
+
+// buildMLTask constructs and admits the accelerated task via the agent.
+func buildMLTask(a *agent.Agent, ml experiments.MLKind, cores int) (string, error) {
+	task, err := newMLWorkload(a, ml)
+	if err != nil {
+		return "", err
+	}
+	if err := a.AdmitML(task, cores); err != nil {
+		return "", err
+	}
+	return task.Name(), nil
+}
+
+// newMLWorkload constructs (without registering) the accelerated task.
+func newMLWorkload(a *agent.Agent, ml experiments.MLKind) (workload.Task, error) {
+	switch ml {
+	case experiments.RNN1:
+		dev, err := accel.NewDevice(ml.Platform())
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewRNN1(dev, a.Node().Engine().RNG().Stream("rnn1"))
+	case experiments.CNN1:
+		return workload.NewCNN1(ml.Platform())
+	case experiments.CNN2:
+		return workload.NewCNN2(ml.Platform())
+	case experiments.CNN3:
+		return workload.NewCNN3(ml.Platform())
+	}
+	return nil, fmt.Errorf("httpd: unknown ML kind %v", ml)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		return
+	}
+	var req struct {
+		MS float64 `json:"ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MS <= 0 || req.MS > 60_000 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("ms = %v out of (0, 60000]", req.MS))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agent.Run(req.MS * sim.Millisecond)
+	writeJSON(w, http.StatusOK, map[string]float64{"now_sec": s.agent.Node().Now()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.agent.Node()
+	// Peek: scraping must not consume the Kelp runtime's counter window.
+	sample := n.Monitor().Peek()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP kelp_socket_bandwidth_bytes Socket DRAM bandwidth, bytes/s.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_bandwidth_bytes gauge\n")
+	for sock := range sample.SocketBW {
+		fmt.Fprintf(w, "kelp_socket_bandwidth_bytes{socket=\"%d\"} %.0f\n", sock, sample.SocketBW[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_socket_latency_seconds Loaded memory latency.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_latency_seconds gauge\n")
+	for sock := range sample.SocketLatency {
+		fmt.Fprintf(w, "kelp_socket_latency_seconds{socket=\"%d\"} %.3e\n", sock, sample.SocketLatency[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_socket_saturation Distress signal duty cycle.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_saturation gauge\n")
+	for sock := range sample.SocketSaturation {
+		fmt.Fprintf(w, "kelp_socket_saturation{socket=\"%d\"} %.4f\n", sock, sample.SocketSaturation[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_task_throughput Task work rate, units/s.\n")
+	fmt.Fprintf(w, "# TYPE kelp_task_throughput gauge\n")
+	for _, t := range n.Tasks() {
+		fmt.Fprintf(w, "kelp_task_throughput{task=%q} %.3f\n", t.Name(), t.Throughput(n.Now()))
+	}
+	if a := s.agent.Applied(); a != nil && a.Runtime != nil {
+		fmt.Fprintf(w, "# HELP kelp_runtime_actuator Kelp actuator values.\n")
+		fmt.Fprintf(w, "# TYPE kelp_runtime_actuator gauge\n")
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_cores\"} %d\n", a.Runtime.LowCores())
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
+	}
+}
+
+func (s *Server) handleFS(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := strings.TrimPrefix(r.URL.Path, "/fs")
+	switch r.Method {
+	case http.MethodGet:
+		// Try as a file, fall back to directory listing.
+		if data, err := s.fs.ReadFile(path); err == nil {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintln(w, data)
+			return
+		}
+		entries, err := s.fs.ReadDir(path)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, entries)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.fs.WriteFile(path, string(body)); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"written": path})
+	case http.MethodPost:
+		if err := s.fs.Mkdir(path); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"created": path})
+	case http.MethodDelete:
+		if err := s.fs.Rmdir(path); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": path})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}

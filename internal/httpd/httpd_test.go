@@ -1,0 +1,216 @@
+package httpd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kelp/internal/agent"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+)
+
+func newServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	opts := policy.DefaultOptions()
+	opts.SamplePeriod = 0.1
+	a, err := agent.New(agent.Config{
+		Node:    node.DefaultConfig(),
+		Policy:  policy.Kelp,
+		Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func do(t *testing.T, method, url string, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func TestNewRejectsNil(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil agent accepted")
+	}
+}
+
+func TestHealthzAndTopology(t *testing.T) {
+	_, ts := newServer(t)
+	resp, body := do(t, "GET", ts.URL+"/healthz", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/topology", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("topology = %d", resp.StatusCode)
+	}
+	var topo map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo["sockets"].(float64) != 2 {
+		t.Errorf("topology = %v", topo)
+	}
+}
+
+func TestFullLifecycleOverHTTP(t *testing.T) {
+	_, ts := newServer(t)
+
+	// 1. Admit the accelerated task.
+	resp, body := do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN1","cores":2}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ML admission = %d %s", resp.StatusCode, body)
+	}
+	// A second accelerated task must be rejected.
+	resp, _ = do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN2"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second ML admission = %d, want conflict", resp.StatusCode)
+	}
+
+	// 2. Admit batch tasks.
+	for i := 0; i < 2; i++ {
+		resp, body = do(t, "POST", ts.URL+"/tasks", `{"kind":"Stitch"}`)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("batch admission = %d %s", resp.StatusCode, body)
+		}
+	}
+
+	// 3. Advance the simulation.
+	resp, body = do(t, "POST", ts.URL+"/advance", `{"ms":1500}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("advance = %d %s", resp.StatusCode, body)
+	}
+
+	// 4. Tasks report progress.
+	resp, body = do(t, "GET", ts.URL+"/tasks", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("tasks = %d", resp.StatusCode)
+	}
+	var tasks []struct {
+		Name       string  `json:"name"`
+		Throughput float64 `json:"throughput"`
+	}
+	if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	for _, task := range tasks {
+		if task.Throughput <= 0 {
+			t.Errorf("task %s made no progress", task.Name)
+		}
+	}
+
+	// 5. Metrics expose bandwidth and actuators.
+	resp, body = do(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"kelp_socket_bandwidth_bytes{socket=\"0\"}",
+		"kelp_task_throughput{task=\"CNN1\"}",
+		"kelp_runtime_actuator{name=\"low_prefetchers\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Scraping twice must not zero the series (Peek semantics).
+	_, body2 := do(t, "GET", ts.URL+"/metrics", "")
+	if !strings.Contains(body2, "kelp_socket_bandwidth_bytes{socket=\"0\"}") {
+		t.Error("second scrape lost series")
+	}
+}
+
+func TestFSOverHTTP(t *testing.T) {
+	_, ts := newServer(t)
+	if resp, body := do(t, "POST", ts.URL+"/fs/cgroup/batch", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mkdir = %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, "PUT", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "0-3"); resp.StatusCode != 200 {
+		t.Fatal("cpuset write failed")
+	}
+	resp, body := do(t, "GET", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "")
+	if resp.StatusCode != 200 || strings.TrimSpace(body) != "0-3" {
+		t.Errorf("cpuset read = %d %q", resp.StatusCode, body)
+	}
+	// Directory listing.
+	resp, body = do(t, "GET", ts.URL+"/fs/cgroup", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, "batch") {
+		t.Errorf("readdir = %d %q", resp.StatusCode, body)
+	}
+	// Bad writes are 400.
+	if resp, _ := do(t, "PUT", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "zz"); resp.StatusCode != 400 {
+		t.Errorf("bad cpuset write = %d", resp.StatusCode)
+	}
+	// Missing paths are 404.
+	if resp, _ := do(t, "GET", ts.URL+"/fs/cgroup/ghost/cpuset.cpus", ""); resp.StatusCode != 404 {
+		t.Errorf("missing path = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "DELETE", ts.URL+"/fs/cgroup/batch", ""); resp.StatusCode != 200 {
+		t.Error("rmdir failed")
+	}
+}
+
+func TestAdvanceValidation(t *testing.T) {
+	_, ts := newServer(t)
+	for _, body := range []string{`{"ms":0}`, `{"ms":-5}`, `{"ms":999999}`, `{`} {
+		resp, _ := do(t, "POST", ts.URL+"/advance", body)
+		if resp.StatusCode != 400 {
+			t.Errorf("advance(%s) = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/advance", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Error("GET /advance allowed")
+	}
+}
+
+func TestBatchBeforeMLRejected(t *testing.T) {
+	_, ts := newServer(t)
+	resp, _ := do(t, "POST", ts.URL+"/tasks", `{"kind":"Stream","threads":4}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("batch before ML = %d, want conflict", resp.StatusCode)
+	}
+}
+
+func TestBadTaskSpecs(t *testing.T) {
+	_, ts := newServer(t)
+	do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN1"}`)
+	cases := []string{
+		`{"ml":"GPT4"}`,
+		`{"kind":"Mystery"}`,
+		`{"kind":"DRAM","level":"Z"}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		resp, _ := do(t, "POST", ts.URL+"/tasks", c)
+		if resp.StatusCode != 400 && resp.StatusCode != http.StatusConflict {
+			t.Errorf("POST %s = %d, want 4xx", c, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+)
+
+func fgConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FineGrainedQoS = true
+	return cfg
+}
+
+func TestFineGrainedPrioritizesHighFlows(t *testing.T) {
+	cfg := fgConfig()
+	s := MustSystem(cfg)
+	res, err := s.Resolve([]Flow{
+		{Task: "ml", Socket: 0, DemandBW: 10 * GB, HighPriority: true},
+		{Task: "agg", Socket: 0, DemandBW: 2 * cfg.SocketBW()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, lo := res.Flows[0], res.Flows[1]
+	if hi.BWFraction < 0.999 {
+		t.Errorf("high-priority flow starved: %v", hi.BWFraction)
+	}
+	if lo.BWFraction > 0.6 {
+		t.Errorf("low-priority flow got %v of demand under 2x oversubscription", lo.BWFraction)
+	}
+	// §VI-C: backpressure targets only the offending threads.
+	if hi.Backpressure != 1 {
+		t.Errorf("high-priority flow backpressured: %v", hi.Backpressure)
+	}
+	if lo.Backpressure >= 1 {
+		t.Errorf("low-priority flow not backpressured: %v", lo.Backpressure)
+	}
+	// Prioritized requests bypass the queue: latency near unloaded.
+	if hi.LatencyStretch > 1.2 {
+		t.Errorf("high-priority latency stretch = %v", hi.LatencyStretch)
+	}
+	if lo.LatencyStretch < 2 {
+		t.Errorf("low-priority latency stretch = %v, want loaded", lo.LatencyStretch)
+	}
+}
+
+func TestFineGrainedLowShareFloor(t *testing.T) {
+	cfg := fgConfig()
+	cfg.FineGrainedLowShare = 0.2
+	s := MustSystem(cfg)
+	// High priority demands everything; low priority must still get its
+	// reserved floor.
+	res, err := s.Resolve([]Flow{
+		{Task: "ml", Socket: 0, DemandBW: 2 * cfg.SocketBW(), HighPriority: true},
+		{Task: "agg", Socket: 0, DemandBW: cfg.SocketBW()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := res.Flows[1]
+	floor := 0.2 * cfg.SocketBW()
+	if lo.Granted < floor*0.99 {
+		t.Errorf("low granted %v, want at least the %v floor", lo.Granted, floor)
+	}
+	hi := res.Flows[0]
+	if hi.Granted > 0.8*cfg.SocketBW()*1.01 {
+		t.Errorf("high granted %v, should respect the low floor", hi.Granted)
+	}
+}
+
+func TestFineGrainedOffMatchesFairSharing(t *testing.T) {
+	// With the mode off, priority flags change nothing.
+	cfg := DefaultConfig()
+	s := MustSystem(cfg)
+	total := cfg.SocketBW()
+	res, err := s.Resolve([]Flow{
+		{Task: "a", Socket: 0, DemandBW: total, HighPriority: true},
+		{Task: "b", Socket: 0, DemandBW: total},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flows[0].BWFraction-res.Flows[1].BWFraction) > 1e-9 {
+		t.Errorf("priority affected grants with FG off: %v vs %v",
+			res.Flows[0].BWFraction, res.Flows[1].BWFraction)
+	}
+	if res.Flows[0].Backpressure != res.Flows[1].Backpressure {
+		t.Error("priority affected backpressure with FG off")
+	}
+}
+
+func TestFineGrainedConservesBandwidth(t *testing.T) {
+	cfg := fgConfig()
+	s := MustSystem(cfg)
+	res, err := s.Resolve([]Flow{
+		{Task: "ml", Socket: 0, DemandBW: 0.8 * cfg.SocketBW(), HighPriority: true},
+		{Task: "a", Socket: 0, DemandBW: 0.8 * cfg.SocketBW()},
+		{Task: "b", Socket: 0, DemandBW: 0.4 * cfg.SocketBW()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flowTotal float64
+	for _, fr := range res.Flows {
+		flowTotal += fr.Granted
+	}
+	if flowTotal > cfg.SocketBW()*1.001 {
+		t.Errorf("granted %v exceeds capacity %v", flowTotal, cfg.SocketBW())
+	}
+	if got := res.SocketGranted(0); math.Abs(got-flowTotal)/got > 0.01 {
+		t.Errorf("controller grants %v != flow grants %v", got, flowTotal)
+	}
+}
+
+func TestFineGrainedValidation(t *testing.T) {
+	cfg := fgConfig()
+	cfg.FineGrainedLowShare = 0.9
+	if err := cfg.Validate(); err == nil {
+		t.Error("oversized low share accepted")
+	}
+	cfg.FineGrainedLowShare = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative low share accepted")
+	}
+}
+
+func TestSetFineGrainedQoS(t *testing.T) {
+	s := MustSystem(DefaultConfig())
+	s.SetFineGrainedQoS(true)
+	if !s.Config().FineGrainedQoS {
+		t.Error("SetFineGrainedQoS not applied")
+	}
+}

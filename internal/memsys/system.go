@@ -1,0 +1,349 @@
+package memsys
+
+import (
+	"fmt"
+	"math"
+)
+
+// System resolves memory traffic for a configured node. It is stateless
+// between steps except for caching the last resolution for inspection.
+type System struct {
+	cfg  Config
+	last *Resolution
+}
+
+// NewSystem returns a memory system for cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// MustSystem is NewSystem that panics on an invalid configuration.
+func MustSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// SetSNC enables or disables NUMA subdomains (SNC/CoD). On real hardware
+// this is a boot-time BIOS option; the simulator allows it per scenario.
+func (s *System) SetSNC(on bool) { s.cfg.SNCEnabled = on }
+
+// SetFineGrainedQoS toggles the proposed hardware request-level memory
+// isolation (paper §VI-C/D).
+func (s *System) SetFineGrainedQoS(on bool) { s.cfg.FineGrainedQoS = on }
+
+// Last returns the most recent resolution, or nil before the first step.
+func (s *System) Last() *Resolution { return s.last }
+
+// queueLatency returns the loaded latency multiplier for utilization u.
+func (s *System) queueLatency(u float64) float64 {
+	uc := math.Min(u, 0.97)
+	stretch := 1 + s.cfg.QueueGain*uc*uc/(1-uc)
+	if stretch > s.cfg.MaxLatencyStretch {
+		stretch = s.cfg.MaxLatencyStretch
+	}
+	return stretch
+}
+
+// distress returns the distress duty cycle for utilization u.
+func (s *System) distress(u float64) float64 {
+	thr := s.cfg.DistressThreshold
+	d := (u - thr) / (1 - thr)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// remoteTarget returns the socket a flow's remote traffic homes to.
+func (s *System) remoteTarget(socket int) int {
+	return (socket + 1) % s.cfg.Sockets
+}
+
+// Resolve computes bandwidth grants, latencies, LLC residency, distress and
+// backpressure for one step's flows.
+func (s *System) Resolve(flows []Flow) (*Resolution, error) {
+	cfg := s.cfg
+	for i := range flows {
+		if err := flows[i].validate(cfg); err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+	}
+
+	res := &Resolution{
+		Flows:              make([]FlowResult, len(flows)),
+		SocketBackpressure: make([]float64, cfg.Sockets),
+	}
+
+	// 1. LLC residency per socket.
+	hit := make([]float64, len(flows))
+	for sock := 0; sock < cfg.Sockets; sock++ {
+		var idx []int
+		for i := range flows {
+			if flows[i].Socket == sock {
+				idx = append(idx, i)
+			}
+		}
+		hs := resolveLLC(cfg, flows, idx)
+		for j, fi := range idx {
+			hit[fi] = hs[j]
+		}
+	}
+
+	// 2. Route DRAM traffic to controllers and the interconnect. Traffic
+	// is tracked per priority class so the fine-grained QoS mode can serve
+	// high-priority requests first; with the mode off the classes are
+	// granted identically.
+	nCtl := cfg.Sockets * cfg.ControllersPerSocket
+	offeredHi := make([]float64, nCtl)
+	offeredLo := make([]float64, nCtl)
+	linkOffered := make([]float64, cfg.Sockets) // by source socket
+	dram := make([]float64, len(flows))
+	isHi := func(f Flow) bool { return cfg.FineGrainedQoS && f.HighPriority }
+	addOffered := func(f Flow, c int, v float64) {
+		if isHi(f) {
+			offeredHi[c] += v
+		} else {
+			offeredLo[c] += v
+		}
+	}
+	// localShare[i][c] is the fraction of flow i's local traffic on ctl c.
+	type route struct {
+		localCtls  []int
+		localShare float64 // per listed controller
+	}
+	routes := make([]route, len(flows))
+
+	ctlIndex := func(sock, idx int) int { return sock*cfg.ControllersPerSocket + idx }
+
+	// First pass: demands, local routing, and total link load per source
+	// socket. Remote traffic is not yet assigned to the home controllers:
+	// the interconnect caps what actually arrives, so inbound traffic must
+	// be scaled by the link's grant ratio first.
+	for i, f := range flows {
+		d := f.DemandBW + (1-hit[i])*f.LLCRefBW
+		dram[i] = d
+		local := d * (1 - f.RemoteFrac)
+		remote := d * f.RemoteFrac
+
+		var r route
+		if cfg.SNCEnabled {
+			r.localCtls = []int{ctlIndex(f.Socket, f.Subdomain)}
+			r.localShare = 1
+		} else {
+			for c := 0; c < cfg.ControllersPerSocket; c++ {
+				r.localCtls = append(r.localCtls, ctlIndex(f.Socket, c))
+			}
+			r.localShare = 1 / float64(cfg.ControllersPerSocket)
+		}
+		routes[i] = r
+		for _, c := range r.localCtls {
+			addOffered(f, c, local*r.localShare)
+		}
+		if remote > 0 && cfg.Sockets > 1 {
+			linkOffered[f.Socket] += remote
+		}
+	}
+
+	// Second pass: deliver link-capped remote traffic to home controllers.
+	linkCap := make([]float64, cfg.Sockets)
+	for sock := range linkCap {
+		linkCap[sock] = 1
+		if linkOffered[sock] > cfg.LinkBW {
+			linkCap[sock] = cfg.LinkBW / linkOffered[sock]
+		}
+	}
+	for i, f := range flows {
+		remote := dram[i] * f.RemoteFrac
+		if remote <= 0 || cfg.Sockets < 2 {
+			continue
+		}
+		tgt := s.remoteTarget(f.Socket)
+		delivered := remote * linkCap[f.Socket]
+		for c := 0; c < cfg.ControllersPerSocket; c++ {
+			addOffered(f, ctlIndex(tgt, c), delivered/float64(cfg.ControllersPerSocket))
+		}
+	}
+
+	// 3. Controller states and per-class grant ratios / latencies.
+	res.Controllers = make([]ControllerState, nCtl)
+	gHi := make([]float64, nCtl)
+	gLo := make([]float64, nCtl)
+	latHi := make([]float64, nCtl)
+	latLo := make([]float64, nCtl)
+	for c := 0; c < nCtl; c++ {
+		capac := cfg.BWPerController
+		offHi, offLo := offeredHi[c], offeredLo[c]
+		total := offHi + offLo
+		u := total / capac
+		latTotal := cfg.BaseLatency * s.queueLatency(u)
+
+		if cfg.FineGrainedQoS {
+			// Strict priority with an MBA-style floor for low priority.
+			reserve := capac * cfg.FineGrainedLowShare
+			if offLo < reserve {
+				reserve = offLo
+			}
+			hiCap := capac - reserve
+			gHi[c] = 1
+			if offHi > hiCap {
+				gHi[c] = hiCap / offHi
+			}
+			grantedHi := offHi * gHi[c]
+			rem := capac - grantedHi
+			gLo[c] = 1
+			if offLo > rem {
+				gLo[c] = rem / offLo
+			}
+			// Prioritized requests bypass the shared queue: their latency
+			// tracks high-priority load only; low priority sees the full
+			// queue.
+			latHi[c] = cfg.BaseLatency * s.queueLatency(offHi/capac)
+			latLo[c] = latTotal
+		} else {
+			g := 1.0
+			if total > capac {
+				g = capac / total
+			}
+			gHi[c], gLo[c] = g, g
+			latHi[c], latLo[c] = latTotal, latTotal
+		}
+
+		res.Controllers[c] = ControllerState{
+			Socket:      c / cfg.ControllersPerSocket,
+			Index:       c % cfg.ControllersPerSocket,
+			Offered:     total,
+			Granted:     offHi*gHi[c] + offLo*gLo[c],
+			Capacity:    capac,
+			Utilization: u,
+			Latency:     latLo[c],
+			Distress:    s.distress(u),
+		}
+	}
+
+	// 4. Link states (one per source socket with traffic).
+	linkGrant := make([]float64, cfg.Sockets)
+	linkAdder := make([]float64, cfg.Sockets)
+	for sock := 0; sock < cfg.Sockets; sock++ {
+		linkGrant[sock] = 1
+		if linkOffered[sock] <= 0 {
+			continue
+		}
+		u := linkOffered[sock] / cfg.LinkBW
+		linkGrant[sock] = math.Min(1, cfg.LinkBW/linkOffered[sock])
+		adder := cfg.LinkLatency * s.queueLatency(u) * cfg.CoherenceFactor
+		linkAdder[sock] = adder
+		res.Links = append(res.Links, LinkState{
+			From:        sock,
+			To:          s.remoteTarget(sock),
+			Offered:     linkOffered[sock],
+			Capacity:    cfg.LinkBW,
+			Utilization: u,
+			Adder:       adder,
+		})
+	}
+
+	// 5. Socket backpressure: the distress signal broadcasts to every core
+	// on the socket, regardless of subdomain (paper §IV-B). Cross-socket
+	// coherence traffic additionally stalls every core on both endpoint
+	// sockets (paper §VI-A) in proportion to link load.
+	res.SocketSnoop = make([]float64, cfg.Sockets)
+	for sock := 0; sock < cfg.Sockets; sock++ {
+		res.SocketBackpressure[sock] = 1 - cfg.MaxBackpressure*res.MaxDistress(sock)
+		crossing := linkOffered[sock]
+		if cfg.Sockets == 2 {
+			crossing += linkOffered[1-sock]
+		}
+		load := math.Min(crossing/cfg.LinkBW, 1.5)
+		snoop := 1 + cfg.RemoteSnoopPenalty*load*(cfg.CoherenceFactor-1)
+		// Snoop stalls saturate: once every access waits behind an ordered
+		// snoop the marginal cost of more link traffic flattens.
+		if snoop > 6.0 {
+			snoop = 6.0
+		}
+		res.SocketSnoop[sock] = snoop
+	}
+
+	// 6. Per-flow results, using the flow's priority class.
+	for i, f := range flows {
+		r := routes[i]
+		classG, classLat := gLo, latLo
+		if isHi(f) {
+			classG, classLat = gHi, latHi
+		}
+		var gLocal, latLocal float64
+		for _, c := range r.localCtls {
+			gLocal += classG[c] * r.localShare
+			latLocal += classLat[c] * r.localShare
+		}
+		if cfg.SNCEnabled {
+			latLocal *= cfg.SNCLocalLatencyFactor
+		}
+
+		gRemote, latRemote := 1.0, 0.0
+		if f.RemoteFrac > 0 && cfg.Sockets > 1 {
+			tgt := s.remoteTarget(f.Socket)
+			var g, lat float64
+			for c := 0; c < cfg.ControllersPerSocket; c++ {
+				ci := ctlIndex(tgt, c)
+				g += classG[ci]
+				lat += classLat[ci]
+			}
+			g /= float64(cfg.ControllersPerSocket)
+			lat /= float64(cfg.ControllersPerSocket)
+			// Remote grants pass two bottlenecks in series: the link caps
+			// delivery, then the home controllers grant a share of what
+			// arrived.
+			gRemote = g * linkGrant[f.Socket]
+			latRemote = lat*cfg.CoherenceFactor + linkAdder[f.Socket]
+			if linkAdder[f.Socket] == 0 {
+				latRemote = lat*cfg.CoherenceFactor + cfg.LinkLatency*cfg.CoherenceFactor
+			}
+		}
+
+		rf := f.RemoteFrac
+		granted := dram[i] * ((1-rf)*gLocal + rf*gRemote)
+		lat := (1-rf)*latLocal + rf*latRemote
+		if dram[i] == 0 {
+			// No DRAM traffic: the flow still observes unloaded latency.
+			lat = latLocal
+			if rf > 0 {
+				lat = (1-rf)*latLocal + rf*latRemote
+			}
+		}
+		bwFrac := 1.0
+		if dram[i] > 0 {
+			bwFrac = granted / dram[i]
+		}
+		bp := res.SocketBackpressure[f.Socket]
+		if isHi(f) {
+			// §VI-C: the fine-grained mechanism sends backpressure to the
+			// offending threads only; prioritized cores are exempt.
+			bp = 1
+		}
+		res.Flows[i] = FlowResult{
+			DRAMTraffic:    dram[i],
+			Granted:        granted,
+			BWFraction:     bwFrac,
+			Latency:        lat,
+			LatencyStretch: lat / cfg.BaseLatency,
+			LLCHit:         hit[i],
+			Backpressure:   bp,
+			SnoopStretch:   res.SocketSnoop[f.Socket],
+		}
+	}
+
+	s.last = res
+	return res, nil
+}

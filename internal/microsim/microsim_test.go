@@ -1,0 +1,209 @@
+package microsim
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests run a scaled-down controller (MB/s instead of GB/s): queueing
+// behaviour is dimensionless in rate, and the event count stays small.
+const (
+	gb   = 1 << 20 // scaled "GB"
+	line = 64.0
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	if cfg.CapacityBW == 0 {
+		cfg.CapacityBW = 38.4 * gb
+	}
+	if cfg.DistressQueueDepth == 0 {
+		cfg.DistressQueueDepth = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 0.01
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{CapacityBW: 1, Duration: 1, DistressQueueDepth: 1},
+		{CapacityBW: 1, Duration: 1, DistressQueueDepth: 1,
+			Generators: []Generator{{Rate: 1, RequestBytes: 0}}},
+		{CapacityBW: 1, Duration: 1, DistressQueueDepth: 0,
+			Generators: []Generator{{Rate: 1, RequestBytes: 64}}},
+		{CapacityBW: 1, Duration: 0, DistressQueueDepth: 1,
+			Generators: []Generator{{Rate: 1, RequestBytes: 64}}},
+		{CapacityBW: 1, Duration: 1, DistressQueueDepth: 1,
+			Generators: []Generator{{Rate: -1, RequestBytes: 64}}},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLightLoadDeliversOffered(t *testing.T) {
+	r := run(t, Config{
+		Generators: []Generator{{Name: "a", Rate: 5 * gb, RequestBytes: line}},
+	})
+	got := r.Generators[0]
+	if math.Abs(got.AchievedBW-got.OfferedBW)/got.OfferedBW > 0.05 {
+		t.Errorf("achieved %v of offered %v", got.AchievedBW, got.OfferedBW)
+	}
+	if r.DistressDuty > 0.01 {
+		t.Errorf("distress %v at 13%% load", r.DistressDuty)
+	}
+}
+
+// TestLatencyGrowsWithUtilization validates the fluid model's central
+// curve: sojourn time rises superlinearly toward saturation.
+func TestLatencyGrowsWithUtilization(t *testing.T) {
+	var lat []float64
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		r := run(t, Config{
+			Generators: []Generator{{Name: "a", Rate: frac * 38.4 * gb, RequestBytes: line}},
+		})
+		lat = append(lat, r.Generators[0].MeanLatency)
+	}
+	if !(lat[1] > lat[0] && lat[2] > lat[1]) {
+		t.Fatalf("latency not monotone: %v", lat)
+	}
+	// Superlinear growth: the 0.6 -> 0.9 jump dwarfs 0.3 -> 0.6.
+	if !(lat[2]-lat[1] > 2*(lat[1]-lat[0])) {
+		t.Errorf("latency growth not superlinear: %v", lat)
+	}
+}
+
+// TestOversubscriptionSharesProportionally validates the fluid model's
+// fair-share grant: two equal generators each get half of capacity.
+func TestOversubscriptionSharesProportionally(t *testing.T) {
+	cap := 38.4 * float64(gb)
+	r := run(t, Config{
+		Duration: 0.02,
+		Generators: []Generator{
+			{Name: "a", Rate: cap, RequestBytes: line},
+			{Name: "b", Rate: cap, RequestBytes: line},
+		},
+	})
+	for _, g := range r.Generators {
+		share := g.AchievedBW / cap
+		if math.Abs(share-0.5) > 0.05 {
+			t.Errorf("%s share = %v, want ~0.5", g.Name, share)
+		}
+	}
+	if r.Utilization < 0.95 {
+		t.Errorf("utilization %v under 2x oversubscription", r.Utilization)
+	}
+	if r.DistressDuty < 0.9 {
+		t.Errorf("distress %v, want asserted", r.DistressDuty)
+	}
+}
+
+// TestPriorityModeValidatesFineGrainedQoS: with strict priority, the
+// high-priority generator keeps its bandwidth and low latency while the
+// low-priority one absorbs the loss — the emergent version of memsys's
+// fine-grained mode.
+func TestPriorityModeValidatesFineGrainedQoS(t *testing.T) {
+	cap := 38.4 * float64(gb)
+	mk := func(priority bool) *Result {
+		return run(t, Config{
+			Priority: priority,
+			Duration: 0.02,
+			Generators: []Generator{
+				{Name: "ml", Rate: 0.25 * cap, RequestBytes: line, HighPriority: true},
+				{Name: "agg", Rate: 1.5 * cap, RequestBytes: line},
+			},
+		})
+	}
+	fifo := mk(false)
+	prio := mk(true)
+
+	mlFifo, mlPrio := fifo.Generators[0], prio.Generators[0]
+	// Priority restores the ML generator's bandwidth...
+	if mlPrio.AchievedBW < 0.95*mlPrio.OfferedBW {
+		t.Errorf("priority ML achieved %v of %v", mlPrio.AchievedBW, mlPrio.OfferedBW)
+	}
+	if mlFifo.AchievedBW > 0.8*mlFifo.OfferedBW {
+		t.Errorf("FIFO ML achieved %v of %v, want starved", mlFifo.AchievedBW, mlFifo.OfferedBW)
+	}
+	// ...and collapses its latency relative to FIFO.
+	if !(mlPrio.MeanLatency < mlFifo.MeanLatency/4) {
+		t.Errorf("priority ML latency %v, FIFO %v", mlPrio.MeanLatency, mlFifo.MeanLatency)
+	}
+	// The low-priority generator still gets the leftovers.
+	aggPrio := prio.Generators[1]
+	leftover := cap - mlPrio.AchievedBW
+	if math.Abs(aggPrio.AchievedBW-leftover)/leftover > 0.05 {
+		t.Errorf("low-priority achieved %v, want leftover %v", aggPrio.AchievedBW, leftover)
+	}
+}
+
+// TestFluidLatencyCurveShape compares the microsimulated latency inflation
+// with the fluid model's stretch curve at matched utilizations: both must
+// be within a small factor of each other across the operating range.
+func TestFluidLatencyCurveShape(t *testing.T) {
+	cap := 38.4 * float64(gb)
+	base := run(t, Config{
+		Generators: []Generator{{Name: "a", Rate: 0.05 * cap, RequestBytes: line}},
+	}).Generators[0].MeanLatency
+	if base <= 0 {
+		t.Fatal("no baseline latency")
+	}
+	// Fluid: stretch(u) = 1 + 0.9 u^2/(1-u) (memsys.DefaultConfig values).
+	fluid := func(u float64) float64 { return 1 + 0.9*u*u/(1-u) }
+	for _, u := range []float64{0.5, 0.8} {
+		r := run(t, Config{
+			Duration:   0.02,
+			Generators: []Generator{{Name: "a", Rate: u * cap, RequestBytes: line}},
+		})
+		microStretch := r.Generators[0].MeanLatency / base
+		ratio := microStretch / fluid(u)
+		if ratio < 0.3 || ratio > 3.0 {
+			t.Errorf("u=%v: micro stretch %v vs fluid %v (ratio %v)",
+				u, microStretch, fluid(u), ratio)
+		}
+	}
+}
+
+func TestDeterministicArrivalsReduceVariance(t *testing.T) {
+	cap := 38.4 * float64(gb)
+	det := run(t, Config{
+		Generators: []Generator{{Name: "a", Rate: 0.8 * cap, RequestBytes: line, Deterministic: true}},
+	})
+	poisson := run(t, Config{
+		Generators: []Generator{{Name: "a", Rate: 0.8 * cap, RequestBytes: line}},
+	})
+	if !(det.Generators[0].P95Latency < poisson.Generators[0].P95Latency) {
+		t.Errorf("deterministic p95 %v, poisson %v — smoothing should help",
+			det.Generators[0].P95Latency, poisson.Generators[0].P95Latency)
+	}
+}
+
+func TestReproducibleBySeed(t *testing.T) {
+	cfg := Config{
+		CapacityBW: 38.4 * gb, Duration: 0.005, DistressQueueDepth: 32, Seed: 7,
+		Generators: []Generator{{Name: "a", Rate: 20 * gb, RequestBytes: line}},
+	}
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.Generators[0].Completed != b.Generators[0].Completed {
+		t.Error("same seed diverged")
+	}
+	cfg.Seed = 8
+	c, _ := Run(cfg)
+	if a.Generators[0].Completed == c.Generators[0].Completed &&
+		a.Generators[0].MeanLatency == c.Generators[0].MeanLatency {
+		t.Error("different seeds identical")
+	}
+}

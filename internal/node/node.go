@@ -1,0 +1,432 @@
+// Package node assembles one server: the processor, the memory system, the
+// accelerator, the cgroup control surface, the performance monitor, and the
+// running tasks. It implements the per-step pipeline — collect offers,
+// resolve the memory system, distribute execution-rate factors, advance
+// tasks — and owns the simulation engine that drives it.
+package node
+
+import (
+	"fmt"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/cpu"
+	"kelp/internal/memsys"
+	"kelp/internal/perfmon"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// Config describes one node.
+type Config struct {
+	Topology cpu.Topology
+	Memory   memsys.Config
+	// PrefetchTraffic is the fractional extra (speculative, partly wasted)
+	// DRAM demand issued by a core with L2 prefetchers enabled — the
+	// pressure Kelp manages by toggling them.
+	PrefetchTraffic float64
+	// NoPrefetchDemand is the fraction of its nominal streaming bandwidth a
+	// core can sustain with prefetchers disabled: demand misses cannot hide
+	// memory latency, so offered traffic collapses. This is why toggling
+	// prefetchers relieves controller saturation (paper §IV-B).
+	NoPrefetchDemand float64
+	// HardwarePrefetchGovernor enables the paper's §VI-B proposal: a
+	// hardware feedback-directed prefetcher that scales each core's
+	// prefetch aggressiveness with the measured memory saturation of its
+	// home controller, continuously and with zero software latency —
+	// making Kelp's software toggling unnecessary. Off by default, as on
+	// the paper's hardware.
+	HardwarePrefetchGovernor bool
+	// Step is the simulation time step.
+	Step sim.Duration
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-calibrated node: dual-socket, SNC-capable
+// memory system, 60% prefetch traffic inflation, 100 µs steps.
+func DefaultConfig() Config {
+	return Config{
+		Topology:         cpu.DefaultTopology(),
+		Memory:           memsys.DefaultConfig(),
+		PrefetchTraffic:  0.30,
+		NoPrefetchDemand: 0.45,
+		Step:             sim.DefaultStep,
+		Seed:             1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	if c.Topology.Sockets != c.Memory.Sockets {
+		return fmt.Errorf("node: topology has %d sockets, memory %d",
+			c.Topology.Sockets, c.Memory.Sockets)
+	}
+	if c.Topology.SubdomainsPerSocket != c.Memory.ControllersPerSocket {
+		return fmt.Errorf("node: %d subdomains per socket vs %d memory controllers",
+			c.Topology.SubdomainsPerSocket, c.Memory.ControllersPerSocket)
+	}
+	if c.PrefetchTraffic < 0 || c.PrefetchTraffic > 2 {
+		return fmt.Errorf("node: PrefetchTraffic = %v", c.PrefetchTraffic)
+	}
+	if c.NoPrefetchDemand <= 0 || c.NoPrefetchDemand > 1 {
+		return fmt.Errorf("node: NoPrefetchDemand = %v", c.NoPrefetchDemand)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("node: Step = %v", c.Step)
+	}
+	return nil
+}
+
+// boundTask is a task joined to its cgroup.
+type boundTask struct {
+	task  workload.Task
+	group *cgroup.Group
+	rates workload.Rates
+	// hasFlow marks whether the task contributed a flow this step.
+	hasFlow bool
+	flowIdx int
+	// effectivePrefetch is the prefetch fraction after the hardware
+	// governor's modulation (equal to the group's raw fraction otherwise).
+	effectivePrefetch float64
+}
+
+// Node is one simulated server.
+type Node struct {
+	cfg     Config
+	proc    *cpu.Processor
+	mem     *memsys.System
+	cgroups *cgroup.Manager
+	mon     *perfmon.Monitor
+	engine  *sim.Engine
+
+	tasks  []*boundTask
+	byName map[string]*boundTask
+
+	// distressEWMA backs the hardware prefetch governor's smoothing.
+	distressEWMA map[int]float64
+}
+
+// New builds a node.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	proc, err := cpu.NewProcessor(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := memsys.NewSystem(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := perfmon.NewMonitor(cfg.Memory.Sockets, cfg.Memory.ControllersPerSocket)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.NewEngine(cfg.Step, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		proc:    proc,
+		mem:     mem,
+		cgroups: cgroup.NewManager(proc),
+		mon:     mon,
+		engine:  engine,
+		byName:  make(map[string]*boundTask),
+	}
+	engine.AddStepper(n)
+	return n, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Node {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Config returns the node configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Processor returns the node's processor.
+func (n *Node) Processor() *cpu.Processor { return n.proc }
+
+// Memory returns the node's memory system.
+func (n *Node) Memory() *memsys.System { return n.mem }
+
+// Cgroups returns the node's task-group manager.
+func (n *Node) Cgroups() *cgroup.Manager { return n.cgroups }
+
+// Monitor returns the node's performance monitor.
+func (n *Node) Monitor() *perfmon.Monitor { return n.mon }
+
+// Engine returns the node's simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.engine }
+
+// Now returns the current simulated time.
+func (n *Node) Now() sim.Time { return n.engine.Now() }
+
+// AddTask registers a task into an existing cgroup.
+func (n *Node) AddTask(t workload.Task, groupName string) error {
+	if t == nil {
+		return fmt.Errorf("node: nil task")
+	}
+	if _, dup := n.byName[t.Name()]; dup {
+		return fmt.Errorf("node: task %q already registered", t.Name())
+	}
+	g, err := n.cgroups.Group(groupName)
+	if err != nil {
+		return err
+	}
+	bt := &boundTask{task: t, group: g, rates: identityRates()}
+	n.tasks = append(n.tasks, bt)
+	n.byName[t.Name()] = bt
+	return nil
+}
+
+// RemoveTask unregisters a task (its cgroup remains).
+func (n *Node) RemoveTask(name string) error {
+	bt, ok := n.byName[name]
+	if !ok {
+		return fmt.Errorf("node: no task %q", name)
+	}
+	delete(n.byName, name)
+	for i, cur := range n.tasks {
+		if cur == bt {
+			n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Task returns a registered task by name.
+func (n *Node) Task(name string) (workload.Task, error) {
+	bt, ok := n.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("node: no task %q", name)
+	}
+	return bt.task, nil
+}
+
+// Tasks returns all tasks in registration order.
+func (n *Node) Tasks() []workload.Task {
+	out := make([]workload.Task, len(n.tasks))
+	for i, bt := range n.tasks {
+		out[i] = bt.task
+	}
+	return out
+}
+
+// LastRates returns the most recent execution-rate factors applied to a
+// task, for runtime introspection and traces.
+func (n *Node) LastRates(name string) (workload.Rates, error) {
+	bt, ok := n.byName[name]
+	if !ok {
+		return workload.Rates{}, fmt.Errorf("node: no task %q", name)
+	}
+	return bt.rates, nil
+}
+
+func identityRates() workload.Rates {
+	return workload.Rates{CPUFactor: 1, LatencyStretch: 1, BWFraction: 1, LLCHit: 1, Backpressure: 1, SnoopStretch: 1}
+}
+
+// groupSocket returns the socket a group's cores run on (the socket of its
+// first core), and whether it has any cores.
+func (n *Node) groupSocket(g *cgroup.Group) (int, bool) {
+	cpus := g.CPUs()
+	if cpus.Len() == 0 {
+		return 0, false
+	}
+	c, err := n.proc.Core(cpus[0])
+	if err != nil {
+		return 0, false
+	}
+	return c.Socket, true
+}
+
+// lastDistress returns the previous step's distress duty at the group's
+// home controller (the subdomain's controller under SNC, the socket
+// maximum otherwise), feeding the hardware prefetch governor.
+func (n *Node) lastDistress(socket, subdomain int) float64 {
+	res := n.mem.Last()
+	if res == nil {
+		return 0
+	}
+	if n.mem.Config().SNCEnabled {
+		return res.Controller(socket, subdomain).Distress
+	}
+	return res.MaxDistress(socket)
+}
+
+// governorFactor runs the per-home integral controller of the hardware
+// prefetch governor: aggressive back-off while distress is asserted, slow
+// recovery when the controller is calm. The state converges to the largest
+// prefetch aggressiveness that keeps utilization just below the distress
+// threshold, without the flapping a purely proportional response causes.
+func (n *Node) governorFactor(socket, subdomain int) float64 {
+	key := socket*64 + subdomain
+	if n.distressEWMA == nil {
+		n.distressEWMA = make(map[int]float64)
+	}
+	g, ok := n.distressEWMA[key]
+	if !ok {
+		g = 1
+	}
+	if d := n.lastDistress(socket, subdomain); d > 0 {
+		g -= 0.05 * d
+		if g < 0 {
+			g = 0
+		}
+	} else {
+		g += 0.002
+		if g > 1 {
+			g = 1
+		}
+	}
+	n.distressEWMA[key] = g
+	return g
+}
+
+// prefetchFrac returns the fraction of a group's cores with prefetchers on.
+func (n *Node) prefetchFrac(g *cgroup.Group) float64 {
+	cpus := g.CPUs()
+	if cpus.Len() == 0 {
+		return 0
+	}
+	on := 0
+	for _, id := range cpus {
+		if n.proc.PrefetchOn(id) {
+			on++
+		}
+	}
+	return float64(on) / float64(cpus.Len())
+}
+
+// Step implements sim.Stepper: one tick of the node pipeline — collect
+// offers, timeshare each cgroup's cores among its tasks, resolve the memory
+// system, record counters, distribute rates, advance tasks.
+func (n *Node) Step(now sim.Time, dt sim.Duration) {
+	// Pass 1: offers and per-group demand, for timesharing. Two tasks in
+	// one cgroup contend for its cpuset like real cgroup siblings: when the
+	// group is oversubscribed each task gets a proportional core share.
+	offers := make([]workload.Offer, len(n.tasks))
+	groupDemand := make(map[*cgroup.Group]float64, 4)
+	for i, bt := range n.tasks {
+		capacity := float64(bt.group.CPUs().Len())
+		offers[i] = bt.task.Offer(now, capacity)
+		groupDemand[bt.group] += offers[i].ActiveCores
+	}
+	effective := make([]float64, len(n.tasks))
+	for i, bt := range n.tasks {
+		capacity := float64(bt.group.CPUs().Len())
+		eff := offers[i].ActiveCores
+		if total := groupDemand[bt.group]; total > capacity && total > 0 {
+			eff *= capacity / total
+		}
+		effective[i] = eff
+	}
+
+	var fl []memsys.Flow
+	for i, bt := range n.tasks {
+		bt.hasFlow = false
+		off := offers[i]
+		if effective[i] <= 0 {
+			continue
+		}
+		sock, ok := n.groupSocket(bt.group)
+		if !ok {
+			continue
+		}
+		pol := bt.group.MemPolicy()
+		rf := off.Mem.RemoteFrac
+		if sock != pol.Socket {
+			// Threads run away from their data: the local fraction becomes
+			// remote and vice versa (the Remote DRAM thread sweep).
+			rf = 1 - rf
+		}
+		pf := n.prefetchFrac(bt.group)
+		if n.cfg.HardwarePrefetchGovernor {
+			// §VI-B: hardware feedback-directed prefetch aggressiveness
+			// (Srinath et al. style): back off quickly while the home
+			// controller asserts distress, recover slowly when it is calm,
+			// converging just below the saturation threshold.
+			pf *= n.governorFactor(sock, pol.Subdomain)
+		}
+		bt.effectivePrefetch = pf
+		// A prefetch-on core overfetches (1+PrefetchTraffic); a prefetch-off
+		// core cannot hide latency and offers only NoPrefetchDemand of its
+		// nominal streaming bandwidth.
+		demandFactor := n.cfg.NoPrefetchDemand +
+			(1+n.cfg.PrefetchTraffic-n.cfg.NoPrefetchDemand)*pf
+		// MBA's rate controller sits at the core boundary: it scales DRAM
+		// demand and LLC reuse traffic alike (paper §VI-D).
+		mba := float64(bt.group.MBAPercent()) / 100
+		active := effective[i]
+		fl = append(fl, memsys.Flow{
+			Task:         bt.task.Name(),
+			Socket:       sock,
+			Subdomain:    pol.Subdomain,
+			DemandBW:     active * off.Mem.StreamBWPerCore * demandFactor * mba,
+			RemoteFrac:   rf,
+			LLCFootprint: off.Mem.LLCFootprint,
+			LLCRefBW:     active * off.Mem.LLCRefBWPerCore * mba,
+			LLCWayMask:   bt.group.LLCWays(),
+			HighPriority: bt.group.Priority() == cgroup.High,
+		})
+		bt.hasFlow = true
+		bt.flowIdx = len(fl) - 1
+	}
+
+	// 2. Resolve the memory system. Flows were validated at construction;
+	// an error here is a programming bug.
+	res, err := n.mem.Resolve(fl)
+	if err != nil {
+		panic(fmt.Sprintf("node: resolve: %v", err))
+	}
+	n.mon.Record(dt, res)
+
+	// 3. Distribute rates and advance every task on its effective cores.
+	for i, bt := range n.tasks {
+		if bt.hasFlow {
+			fr := res.Flows[bt.flowIdx]
+			r := workload.Rates{
+				Latency:        fr.Latency,
+				LatencyStretch: fr.LatencyStretch,
+				BWFraction:     fr.BWFraction,
+				LLCHit:         fr.LLCHit,
+				Backpressure:   fr.Backpressure,
+				SnoopStretch:   fr.SnoopStretch,
+			}
+			r.CPUFactor = workload.CPUFactor(offers[i].Mem, r, bt.effectivePrefetch) *
+				workload.MBAPenalty(offers[i].Mem, float64(bt.group.MBAPercent())/100)
+			bt.rates = r
+		} else {
+			// Idle on the memory system this step; identity rates.
+			bt.rates = identityRates()
+		}
+		bt.task.Advance(now, dt, effective[i], bt.rates)
+	}
+}
+
+// Run advances the node by d simulated seconds.
+func (n *Node) Run(d sim.Duration) { n.engine.Run(d) }
+
+// StartMeasurement begins the measured interval on every task.
+func (n *Node) StartMeasurement() {
+	now := n.engine.Now()
+	for _, bt := range n.tasks {
+		bt.task.StartMeasurement(now)
+	}
+}

@@ -1,0 +1,212 @@
+// Package perfmon models the performance-monitoring infrastructure Kelp
+// samples: socket-level memory bandwidth, loaded memory latency, memory
+// saturation (the duty cycle of the uncore distress signal, the paper's
+// FAST_ASSERTED event), and per-controller (per-subdomain) bandwidth.
+//
+// A Monitor integrates per-step memory-system resolutions; controllers call
+// Window to obtain averages since their previous read, mirroring how a
+// runtime reads PMU deltas between samples.
+package perfmon
+
+import (
+	"fmt"
+
+	"kelp/internal/memsys"
+)
+
+// Sample is one windowed counter read.
+type Sample struct {
+	// Elapsed is the window length in simulated seconds.
+	Elapsed float64
+	// SocketBW is average granted bandwidth per socket, bytes/s.
+	SocketBW []float64
+	// SocketOfferedBW is average offered (demanded) bandwidth per socket.
+	SocketOfferedBW []float64
+	// SocketLatency is the time-averaged loaded memory latency per socket,
+	// seconds.
+	SocketLatency []float64
+	// SocketSaturation is the average distress duty cycle per socket in
+	// [0, 1] — what Kelp derives from FAST_ASSERTED / elapsed cycles.
+	SocketSaturation []float64
+	// SocketBackpressure is the average execution-rate multiplier imposed
+	// by backpressure per socket.
+	SocketBackpressure []float64
+	// ControllerBW[socket][ctl] is average granted bandwidth per memory
+	// controller — per NUMA subdomain when SNC is on. This is the
+	// "high-priority subdomain bandwidth" measurement of Algorithm 1.
+	ControllerBW [][]float64
+	// ControllerLatency[socket][ctl] is the time-averaged loaded latency
+	// per controller, seconds — per-subdomain latency under SNC.
+	ControllerLatency [][]float64
+}
+
+// SubdomainBW returns the sampled bandwidth of (socket, subdomain).
+func (s Sample) SubdomainBW(socket, subdomain int) float64 {
+	if socket < 0 || socket >= len(s.ControllerBW) {
+		return 0
+	}
+	ctls := s.ControllerBW[socket]
+	if subdomain < 0 || subdomain >= len(ctls) {
+		return 0
+	}
+	return ctls[subdomain]
+}
+
+// SubdomainLatency returns the sampled loaded latency of (socket,
+// subdomain), seconds.
+func (s Sample) SubdomainLatency(socket, subdomain int) float64 {
+	if socket < 0 || socket >= len(s.ControllerLatency) {
+		return 0
+	}
+	ctls := s.ControllerLatency[socket]
+	if subdomain < 0 || subdomain >= len(ctls) {
+		return 0
+	}
+	return ctls[subdomain]
+}
+
+// Monitor accumulates memory-system observations.
+type Monitor struct {
+	sockets int
+	cps     int
+
+	elapsed acc
+	bw      []acc
+	offered []acc
+	lat     []acc
+	sat     []acc
+	bp      []acc
+	ctlBW   [][]acc
+	ctlLat  [][]acc
+
+	// Cumulative totals (never reset) for end-of-run reporting.
+	totalBytes []float64
+}
+
+type acc struct{ sum float64 }
+
+// NewMonitor returns a monitor for a node with the given socket count and
+// controllers per socket.
+func NewMonitor(sockets, controllersPerSocket int) (*Monitor, error) {
+	if sockets < 1 || controllersPerSocket < 1 {
+		return nil, fmt.Errorf("perfmon: bad shape %dx%d", sockets, controllersPerSocket)
+	}
+	m := &Monitor{
+		sockets:    sockets,
+		cps:        controllersPerSocket,
+		bw:         make([]acc, sockets),
+		offered:    make([]acc, sockets),
+		lat:        make([]acc, sockets),
+		sat:        make([]acc, sockets),
+		bp:         make([]acc, sockets),
+		ctlBW:      make([][]acc, sockets),
+		totalBytes: make([]float64, sockets),
+	}
+	m.ctlLat = make([][]acc, sockets)
+	for s := range m.ctlBW {
+		m.ctlBW[s] = make([]acc, controllersPerSocket)
+		m.ctlLat[s] = make([]acc, controllersPerSocket)
+	}
+	return m, nil
+}
+
+// MustMonitor is NewMonitor that panics on invalid shape.
+func MustMonitor(sockets, controllersPerSocket int) *Monitor {
+	m, err := NewMonitor(sockets, controllersPerSocket)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Record integrates one step's resolution over dt seconds.
+func (m *Monitor) Record(dt float64, res *memsys.Resolution) {
+	if res == nil || dt <= 0 {
+		return
+	}
+	m.elapsed.sum += dt
+	for s := 0; s < m.sockets; s++ {
+		g := res.SocketGranted(s)
+		m.bw[s].sum += g * dt
+		m.offered[s].sum += res.SocketOffered(s) * dt
+		m.lat[s].sum += res.MeanSocketLatency(s) * dt
+		m.sat[s].sum += res.MaxDistress(s) * dt
+		if s < len(res.SocketBackpressure) {
+			m.bp[s].sum += res.SocketBackpressure[s] * dt
+		} else {
+			m.bp[s].sum += dt
+		}
+		m.totalBytes[s] += g * dt
+	}
+	for _, c := range res.Controllers {
+		if c.Socket < m.sockets && c.Index < m.cps {
+			m.ctlBW[c.Socket][c.Index].sum += c.Granted * dt
+			m.ctlLat[c.Socket][c.Index].sum += c.Latency * dt
+		}
+	}
+}
+
+// Peek returns averages since the previous Window call WITHOUT resetting
+// the accumulators — for observers (metrics scrapers) that must not steal
+// the controller's window.
+func (m *Monitor) Peek() Sample {
+	return m.sample(false)
+}
+
+// Window returns averages since the previous Window call and resets the
+// windowed accumulators. An empty window returns zeros with Elapsed 0.
+func (m *Monitor) Window() Sample {
+	return m.sample(true)
+}
+
+func (m *Monitor) sample(reset bool) Sample {
+	el := m.elapsed.sum
+	out := Sample{
+		Elapsed:            el,
+		SocketBW:           make([]float64, m.sockets),
+		SocketOfferedBW:    make([]float64, m.sockets),
+		SocketLatency:      make([]float64, m.sockets),
+		SocketSaturation:   make([]float64, m.sockets),
+		SocketBackpressure: make([]float64, m.sockets),
+		ControllerBW:       make([][]float64, m.sockets),
+		ControllerLatency:  make([][]float64, m.sockets),
+	}
+	for s := 0; s < m.sockets; s++ {
+		out.ControllerBW[s] = make([]float64, m.cps)
+		out.ControllerLatency[s] = make([]float64, m.cps)
+		if el > 0 {
+			out.SocketBW[s] = m.bw[s].sum / el
+			out.SocketOfferedBW[s] = m.offered[s].sum / el
+			out.SocketLatency[s] = m.lat[s].sum / el
+			out.SocketSaturation[s] = m.sat[s].sum / el
+			out.SocketBackpressure[s] = m.bp[s].sum / el
+			for c := 0; c < m.cps; c++ {
+				out.ControllerBW[s][c] = m.ctlBW[s][c].sum / el
+				out.ControllerLatency[s][c] = m.ctlLat[s][c].sum / el
+			}
+		}
+		if reset {
+			m.bw[s] = acc{}
+			m.offered[s] = acc{}
+			m.lat[s] = acc{}
+			m.sat[s] = acc{}
+			m.bp[s] = acc{}
+			for c := 0; c < m.cps; c++ {
+				m.ctlBW[s][c] = acc{}
+				m.ctlLat[s][c] = acc{}
+			}
+		}
+	}
+	if reset {
+		m.elapsed = acc{}
+	}
+	return out
+}
+
+// TotalBytes returns cumulative DRAM bytes moved on a socket since start.
+func (m *Monitor) TotalBytes(socket int) float64 {
+	if socket < 0 || socket >= len(m.totalBytes) {
+		return 0
+	}
+	return m.totalBytes[socket]
+}

@@ -1,0 +1,148 @@
+package perfmon
+
+import (
+	"math"
+	"testing"
+
+	"kelp/internal/memsys"
+)
+
+func TestNewMonitorValidates(t *testing.T) {
+	if _, err := NewMonitor(0, 2); err == nil {
+		t.Error("0 sockets accepted")
+	}
+	if _, err := NewMonitor(2, 0); err == nil {
+		t.Error("0 controllers accepted")
+	}
+	if _, err := NewMonitor(2, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func resolve(t *testing.T, sys *memsys.System, flows []memsys.Flow) *memsys.Resolution {
+	t.Helper()
+	res, err := sys.Resolve(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWindowAverages(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+
+	r1 := resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: 10 * memsys.GB}})
+	r2 := resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: 30 * memsys.GB}})
+	m.Record(1.0, r1)
+	m.Record(1.0, r2)
+
+	s := m.Window()
+	if math.Abs(s.Elapsed-2.0) > 1e-12 {
+		t.Fatalf("Elapsed = %v", s.Elapsed)
+	}
+	want := 20 * float64(memsys.GB)
+	if math.Abs(s.SocketBW[0]-want)/want > 0.01 {
+		t.Errorf("SocketBW = %v, want ~%v", s.SocketBW[0], want)
+	}
+	if s.SocketBW[1] != 0 {
+		t.Errorf("socket 1 BW = %v, want 0", s.SocketBW[1])
+	}
+	if s.SocketLatency[0] <= 0 {
+		t.Error("latency should be positive")
+	}
+	if s.SocketBackpressure[0] <= 0 || s.SocketBackpressure[0] > 1 {
+		t.Errorf("backpressure = %v", s.SocketBackpressure[0])
+	}
+}
+
+func TestWindowResets(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+	m.Record(1.0, resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: memsys.GB}}))
+	_ = m.Window()
+	s := m.Window()
+	if s.Elapsed != 0 || s.SocketBW[0] != 0 {
+		t.Errorf("second window not reset: %+v", s)
+	}
+}
+
+func TestSaturationVisibleInWindow(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+	m.Record(1.0, resolve(t, sys, []memsys.Flow{
+		{Task: "agg", Socket: 0, DemandBW: 1.5 * cfg.SocketBW()},
+	}))
+	s := m.Window()
+	if s.SocketSaturation[0] <= 0.5 {
+		t.Errorf("saturation = %v, want high under 150%% load", s.SocketSaturation[0])
+	}
+	if s.SocketBackpressure[0] >= 1 {
+		t.Errorf("backpressure = %v, want < 1", s.SocketBackpressure[0])
+	}
+}
+
+func TestSubdomainBW(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	cfg.SNCEnabled = true
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+	m.Record(1.0, resolve(t, sys, []memsys.Flow{
+		{Task: "hi", Socket: 0, Subdomain: 0, DemandBW: 5 * memsys.GB},
+		{Task: "lo", Socket: 0, Subdomain: 1, DemandBW: 15 * memsys.GB},
+	}))
+	s := m.Window()
+	bw0 := s.SubdomainBW(0, 0)
+	bw1 := s.SubdomainBW(0, 1)
+	if math.Abs(bw0-5*memsys.GB)/(5*memsys.GB) > 0.01 {
+		t.Errorf("subdomain 0 BW = %v", bw0)
+	}
+	if math.Abs(bw1-15*memsys.GB)/(15*memsys.GB) > 0.01 {
+		t.Errorf("subdomain 1 BW = %v", bw1)
+	}
+	if s.SubdomainBW(9, 0) != 0 || s.SubdomainBW(0, 9) != 0 {
+		t.Error("out-of-range subdomain should report 0")
+	}
+}
+
+func TestTotalBytesCumulative(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+	res := resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: memsys.GB}})
+	m.Record(1.0, res)
+	_ = m.Window() // reset windowed state
+	m.Record(1.0, res)
+	got := m.TotalBytes(0)
+	want := 2 * float64(memsys.GB)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("TotalBytes = %v, want %v (cumulative across windows)", got, want)
+	}
+	if m.TotalBytes(-1) != 0 || m.TotalBytes(9) != 0 {
+		t.Error("out-of-range socket should report 0")
+	}
+}
+
+func TestRecordIgnoresNilAndZeroDt(t *testing.T) {
+	m := MustMonitor(2, 2)
+	m.Record(1.0, nil)
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	res, _ := sys.Resolve([]memsys.Flow{{Task: "a", Socket: 0, DemandBW: memsys.GB}})
+	m.Record(0, res)
+	m.Record(-1, res)
+	if s := m.Window(); s.Elapsed != 0 {
+		t.Errorf("Elapsed = %v, want 0", s.Elapsed)
+	}
+}
+
+func TestEmptyWindowIsZero(t *testing.T) {
+	m := MustMonitor(1, 1)
+	s := m.Window()
+	if s.Elapsed != 0 || s.SocketBW[0] != 0 || s.SocketLatency[0] != 0 {
+		t.Errorf("empty window = %+v", s)
+	}
+}

@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"fmt"
+
+	"kelp/internal/node"
+)
+
+// MBADecision records one control period of the MBA controller.
+type MBADecision struct {
+	Time     float64
+	SocketBW float64
+	Latency  float64
+	Percent  int
+}
+
+// MBAControllerConfig parameterizes the MBA feedback loop.
+type MBAControllerConfig struct {
+	Socket       int
+	Group        string
+	Watermarks   ThrottlerWatermarks
+	SamplePeriod float64
+}
+
+// MBAController throttles the low-priority group's memory request rate via
+// Intel MBA (paper §VI-D) instead of revoking cores: the same watermark
+// feedback as CoreThrottle, actuating the hardware rate controller in 10%
+// steps. The paper points out MBA's defect — its throttle also delays
+// LLC-served requests — which the simulation reproduces, so this
+// configuration trades less ML interference against outsized slowdown of
+// cache-resident batch work.
+type MBAController struct {
+	n       *node.Node
+	cfg     MBAControllerConfig
+	cur     int
+	history []MBADecision
+}
+
+// NewMBAController builds the controller at 100% (unthrottled).
+func NewMBAController(n *node.Node, cfg MBAControllerConfig) (*MBAController, error) {
+	if n == nil {
+		return nil, fmt.Errorf("policy: nil node")
+	}
+	if _, err := n.Cgroups().Group(cfg.Group); err != nil {
+		return nil, err
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("policy: SamplePeriod = %v", cfg.SamplePeriod)
+	}
+	c := &MBAController{n: n, cfg: cfg, cur: 100}
+	if err := n.Cgroups().SetMBA(cfg.Group, c.cur); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Percent returns the current MBA throttle level.
+func (c *MBAController) Percent() int { return c.cur }
+
+// History returns per-period decisions (do not mutate).
+func (c *MBAController) History() []MBADecision { return c.history }
+
+// Control implements sim.Controller.
+func (c *MBAController) Control(now float64) {
+	s := c.n.Monitor().Window()
+	if s.Elapsed == 0 {
+		return
+	}
+	bw := s.SocketBW[c.cfg.Socket]
+	lat := s.SocketLatency[c.cfg.Socket]
+	w := c.cfg.Watermarks
+	switch {
+	case bw > w.SocketBWHigh || lat > w.LatencyHigh:
+		if c.cur > 10 {
+			c.cur -= 10
+		}
+	case bw < w.SocketBWLow && lat < w.LatencyLow:
+		if c.cur < 100 {
+			c.cur += 10
+		}
+	}
+	if err := c.n.Cgroups().SetMBA(c.cfg.Group, c.cur); err != nil {
+		panic(fmt.Sprintf("policy: mba enforce: %v", err))
+	}
+	c.history = append(c.history, MBADecision{Time: now, SocketBW: bw, Latency: lat, Percent: c.cur})
+}

@@ -1,0 +1,353 @@
+// Package policy implements the four system configurations the paper
+// evaluates (§V-A):
+//
+//   - Baseline (BL): priorities exist only in the scheduler; resource
+//     contention is unmanaged.
+//   - CoreThrottle (CT): the prior-work configuration — LLC partitioning via
+//     CAT for the accelerated task plus a feedback loop that throttles the
+//     low-priority tasks' core count.
+//   - Kelp Subdomain (KP-SD): NUMA subdomains (SNC/CoD) isolate the ML task,
+//     and the Kelp runtime manages global backpressure by toggling the low
+//     subdomain's L2 prefetchers. No backfilling.
+//   - Kelp (KP): KP-SD plus backfilling low-priority tasks into the
+//     high-priority subdomain under Algorithm 2's core control.
+//
+// Apply configures a node's groups, SNC setting, CAT masks, and controller
+// for one policy; experiments then attach workloads to the returned groups.
+package policy
+
+import (
+	"fmt"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/core"
+	"kelp/internal/node"
+)
+
+// Kind selects a system configuration.
+type Kind int
+
+// The evaluated configurations. FineGrained is not in the paper's
+// evaluation: it realizes the hardware request-level memory isolation the
+// paper proposes as future work (§VI-C, §VI-D) and predicts to beat both
+// Subdomain (on ML performance) and CoreThrottle/Kelp (on CPU throughput).
+const (
+	Baseline Kind = iota
+	CoreThrottle
+	KelpSubdomain
+	Kelp
+	FineGrained
+	// MBAThrottle manages interference with Intel MBA's request rate
+	// controller instead of core revocation — the §VI-D alternative whose
+	// LLC-bandwidth side effect the paper criticizes.
+	MBAThrottle
+)
+
+// String returns the paper's abbreviation for the configuration.
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "BL"
+	case CoreThrottle:
+		return "CT"
+	case KelpSubdomain:
+		return "KP-SD"
+	case Kelp:
+		return "KP"
+	case FineGrained:
+		return "HW-FG"
+	case MBAThrottle:
+		return "MBA"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the paper's four evaluated configurations in comparison
+// order. The FineGrained extension is opted into explicitly.
+func Kinds() []Kind { return []Kind{Baseline, CoreThrottle, KelpSubdomain, Kelp} }
+
+// AllKinds additionally includes the fine-grained future-work
+// configuration and the MBA alternative.
+func AllKinds() []Kind { return append(Kinds(), FineGrained, MBAThrottle) }
+
+// Options parameterizes policy application.
+type Options struct {
+	// Socket hosting the accelerated task and its antagonists.
+	Socket int
+	// MLCores reserved for the accelerated task.
+	MLCores int
+	// CATWays dedicates this many LLC ways to the ML task under the managed
+	// policies (CT, KP-SD, KP). 0 disables CAT.
+	CATWays int
+	// SamplePeriod for the controllers. The paper samples every 10 s; the
+	// simulated sweeps use a shorter period purely to shrink wall-clock
+	// time — an ablation bench verifies insensitivity (paper §IV-D).
+	SamplePeriod float64
+	// MinLowCores is the floor of low-priority cores under throttling.
+	MinLowCores int
+	// MaxBackfillCores bounds Kelp's backfilling.
+	MaxBackfillCores int
+	// Watermarks overrides the Kelp runtime's thresholds (nil uses the
+	// conservative defaults). This is how a per-application profile
+	// (internal/profile) reaches the runtime.
+	Watermarks *core.Watermarks
+}
+
+// DefaultOptions returns the evaluation defaults: 6 ML cores, 4 dedicated
+// ways, 100 ms control period (sim-scaled), floor of 2 low cores, up to 6
+// backfilled cores.
+func DefaultOptions() Options {
+	return Options{
+		Socket:           0,
+		MLCores:          6,
+		CATWays:          4,
+		SamplePeriod:     0.1,
+		MinLowCores:      2,
+		MaxBackfillCores: 6,
+	}
+}
+
+// Validate reports whether the options fit the node.
+func (o Options) Validate(n *node.Node) error {
+	topo := n.Processor().Topology()
+	if o.Socket < 0 || o.Socket >= topo.Sockets {
+		return fmt.Errorf("policy: socket %d out of range", o.Socket)
+	}
+	perSub := topo.CoresPerSubdomain()
+	if o.MLCores < 1 || o.MLCores > perSub {
+		return fmt.Errorf("policy: MLCores = %d (subdomain has %d)", o.MLCores, perSub)
+	}
+	if o.CATWays < 0 || o.CATWays >= n.Config().Memory.LLCWays {
+		return fmt.Errorf("policy: CATWays = %d of %d", o.CATWays, n.Config().Memory.LLCWays)
+	}
+	if o.SamplePeriod <= 0 {
+		return fmt.Errorf("policy: SamplePeriod = %v", o.SamplePeriod)
+	}
+	if o.MinLowCores < 1 {
+		return fmt.Errorf("policy: MinLowCores = %d", o.MinLowCores)
+	}
+	if o.MaxBackfillCores < 0 || o.MaxBackfillCores > perSub-o.MLCores {
+		return fmt.Errorf("policy: MaxBackfillCores = %d (subdomain has %d free)",
+			o.MaxBackfillCores, perSub-o.MLCores)
+	}
+	if o.Watermarks != nil {
+		if err := o.Watermarks.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Group names used by every policy.
+const (
+	MLGroup       = "ml"
+	LowGroup      = "low"
+	BackfillGroup = "backfill"
+)
+
+// Applied describes the configured node.
+type Applied struct {
+	Kind Kind
+	// ML, Low and Backfill are the cgroup names to attach tasks to.
+	// Backfill is empty except under KP.
+	ML, Low, Backfill string
+	// Runtime is the Kelp runtime (KP-SD and KP only).
+	Runtime *core.Runtime
+	// Throttler is the CoreThrottle controller (CT only).
+	Throttler *Throttler
+	// MBA is the MBA rate controller (MBAThrottle only).
+	MBA *MBAController
+}
+
+// Apply configures the node for the policy and registers its controller
+// with the node's engine. Call before adding tasks.
+func Apply(n *node.Node, k Kind, o Options) (*Applied, error) {
+	if err := o.Validate(n); err != nil {
+		return nil, err
+	}
+	cg := n.Cgroups()
+	proc := n.Processor()
+	memCfg := n.Config().Memory
+
+	mkGroup := func(name string, prio cgroup.Priority) error {
+		_, err := cg.Create(name, prio)
+		return err
+	}
+	if err := mkGroup(MLGroup, cgroup.High); err != nil {
+		return nil, err
+	}
+	if err := mkGroup(LowGroup, cgroup.Low); err != nil {
+		return nil, err
+	}
+
+	a := &Applied{Kind: k, ML: MLGroup, Low: LowGroup}
+	mlWays := uint64(0)
+	lowWays := uint64(0)
+	if o.CATWays > 0 && k != Baseline {
+		mlWays = (uint64(1) << uint(o.CATWays)) - 1
+		lowWays = memCfg.AllWays() &^ mlWays
+	}
+
+	switch k {
+	case FineGrained:
+		// The future-work configuration: no subdomains, no software
+		// controller — the memory controllers prioritize the ML task's
+		// requests and direct backpressure at offending threads only.
+		// Placement matches Baseline; CAT still protects the LLC.
+		n.Memory().SetSNC(false)
+		n.Memory().SetFineGrainedQoS(true)
+		sockCores := proc.SocketCores(o.Socket)
+		if err := cg.SetCPUs(MLGroup, sockCores.Take(o.MLCores)); err != nil {
+			return nil, err
+		}
+		if err := cg.SetCPUs(LowGroup, sockCores.Minus(sockCores.Take(o.MLCores))); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(MLGroup, cgroup.MemPolicy{Socket: o.Socket}); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(LowGroup, cgroup.MemPolicy{Socket: o.Socket}); err != nil {
+			return nil, err
+		}
+		if o.CATWays > 0 {
+			if err := cg.SetLLCWays(MLGroup, mlWays); err != nil {
+				return nil, err
+			}
+			if err := cg.SetLLCWays(LowGroup, lowWays); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+
+	case Baseline, CoreThrottle, MBAThrottle:
+		n.Memory().SetSNC(false)
+		// ML takes the socket's first cores; low priority gets the rest.
+		sockCores := proc.SocketCores(o.Socket)
+		if err := cg.SetCPUs(MLGroup, sockCores.Take(o.MLCores)); err != nil {
+			return nil, err
+		}
+		if err := cg.SetCPUs(LowGroup, sockCores.Minus(sockCores.Take(o.MLCores))); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(MLGroup, cgroup.MemPolicy{Socket: o.Socket}); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(LowGroup, cgroup.MemPolicy{Socket: o.Socket}); err != nil {
+			return nil, err
+		}
+		if k == MBAThrottle {
+			if err := cg.SetLLCWays(MLGroup, mlWays); err != nil {
+				return nil, err
+			}
+			if err := cg.SetLLCWays(LowGroup, lowWays); err != nil {
+				return nil, err
+			}
+			mc, err := NewMBAController(n, MBAControllerConfig{
+				Socket:       o.Socket,
+				Group:        LowGroup,
+				Watermarks:   DefaultThrottlerWatermarks(memCfg.SocketBW(), memCfg.BaseLatency),
+				SamplePeriod: o.SamplePeriod,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := n.Engine().AddController("mba", o.SamplePeriod, mc); err != nil {
+				return nil, err
+			}
+			a.MBA = mc
+		}
+		if k == CoreThrottle {
+			if err := cg.SetLLCWays(MLGroup, mlWays); err != nil {
+				return nil, err
+			}
+			if err := cg.SetLLCWays(LowGroup, lowWays); err != nil {
+				return nil, err
+			}
+			lowPool := sockCores.Minus(sockCores.Take(o.MLCores))
+			th, err := NewThrottler(n, ThrottlerConfig{
+				Socket:       o.Socket,
+				Group:        LowGroup,
+				Pool:         lowPool,
+				MinCores:     o.MinLowCores,
+				MaxCores:     lowPool.Len(),
+				Watermarks:   DefaultThrottlerWatermarks(memCfg.SocketBW(), memCfg.BaseLatency),
+				SamplePeriod: o.SamplePeriod,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := n.Engine().AddController("corethrottle", o.SamplePeriod, th); err != nil {
+				return nil, err
+			}
+			a.Throttler = th
+		}
+		return a, nil
+
+	case KelpSubdomain, Kelp:
+		n.Memory().SetSNC(true)
+		hiCores := proc.SubdomainCores(o.Socket, 0)
+		loCores := proc.SubdomainCores(o.Socket, 1)
+		if err := cg.SetCPUs(MLGroup, hiCores.Take(o.MLCores)); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(MLGroup, cgroup.MemPolicy{Socket: o.Socket, Subdomain: 0}); err != nil {
+			return nil, err
+		}
+		if err := cg.SetCPUs(LowGroup, loCores); err != nil {
+			return nil, err
+		}
+		if err := cg.SetMemPolicy(LowGroup, cgroup.MemPolicy{Socket: o.Socket, Subdomain: 1}); err != nil {
+			return nil, err
+		}
+		if o.CATWays > 0 {
+			if err := cg.SetLLCWays(MLGroup, mlWays); err != nil {
+				return nil, err
+			}
+			if err := cg.SetLLCWays(LowGroup, lowWays); err != nil {
+				return nil, err
+			}
+		}
+		wm := core.DefaultWatermarks(memCfg.BWPerController, memCfg.BaseLatency)
+		if o.Watermarks != nil {
+			wm = *o.Watermarks
+		}
+		kcfg := core.Config{
+			Socket:        o.Socket,
+			HighSubdomain: 0,
+			LowSubdomain:  1,
+			LowGroup:      LowGroup,
+			Watermarks:    wm,
+			MinLowCores:   o.MinLowCores,
+			MaxLowCores:   loCores.Len(),
+			SamplePeriod:  o.SamplePeriod,
+		}
+		if k == Kelp {
+			if err := mkGroup(BackfillGroup, cgroup.Low); err != nil {
+				return nil, err
+			}
+			if err := cg.SetMemPolicy(BackfillGroup, cgroup.MemPolicy{Socket: o.Socket, Subdomain: 0}); err != nil {
+				return nil, err
+			}
+			if o.CATWays > 0 {
+				if err := cg.SetLLCWays(BackfillGroup, lowWays); err != nil {
+					return nil, err
+				}
+			}
+			kcfg.BackfillGroup = BackfillGroup
+			kcfg.MinBackfillCores = 0
+			kcfg.MaxBackfillCores = o.MaxBackfillCores
+			a.Backfill = BackfillGroup
+		}
+		rt, err := core.New(n, kcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Engine().AddController("kelp", o.SamplePeriod, rt); err != nil {
+			return nil, err
+		}
+		a.Runtime = rt
+		return a, nil
+	}
+	return nil, fmt.Errorf("policy: unknown kind %d", int(k))
+}

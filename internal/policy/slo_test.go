@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"testing"
+
+	"kelp/internal/accel"
+	"kelp/internal/cgroup"
+	"kelp/internal/node"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// sloSetup builds an RNN1 server under Baseline-style placement with a CPUML
+// antagonist and attaches the SLO controller with the given target.
+func sloSetup(t *testing.T, target float64) (*node.Node, *workload.Inference, *SLOController) {
+	t.Helper()
+	n := newNode(t)
+	cg := n.Cgroups()
+	if _, err := cg.Create("ml", cgroup.High); err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.SetCPUs("ml", n.Processor().SocketCores(0).Take(2)); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := accel.NewDevice(accel.NewTPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := workload.NewRNN1(dev, n.Engine().RNG().Stream("rnn1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTask(server, "ml"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cg.Create("low", cgroup.Low); err != nil {
+		t.Fatal(err)
+	}
+	pool := n.Processor().SocketCores(0).Minus(n.Processor().SocketCores(0).Take(2))
+	if err := cg.SetCPUs("low", pool); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := workload.NewDRAMAggressor(workload.LevelHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTask(agg, "low"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl, err := NewSLOController(n, SLOControllerConfig{
+		Server:       server,
+		TargetP95:    target,
+		Group:        "low",
+		Pool:         pool,
+		MinCores:     2,
+		MaxCores:     pool.Len(),
+		SamplePeriod: 0.1,
+		Headroom:     0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Engine().AddController("slo", 0.1, ctl); err != nil {
+		t.Fatal(err)
+	}
+	return n, server, ctl
+}
+
+func TestSLOControllerValidation(t *testing.T) {
+	n := newNode(t)
+	n.Cgroups().Create("g", cgroup.Low)
+	pool := n.Processor().SocketCores(0)
+	dev, _ := accel.NewDevice(accel.NewTPU())
+	server, _ := workload.NewRNN1(dev, nil)
+	good := SLOControllerConfig{
+		Server: server, TargetP95: 0.02, Group: "g", Pool: pool,
+		MinCores: 1, MaxCores: pool.Len(), SamplePeriod: 0.1, Headroom: 0.3,
+	}
+	if _, err := NewSLOController(n, good); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*SLOControllerConfig){
+		func(c *SLOControllerConfig) { c.Server = nil },
+		func(c *SLOControllerConfig) { c.TargetP95 = 0 },
+		func(c *SLOControllerConfig) { c.Group = "ghost" },
+		func(c *SLOControllerConfig) { c.MinCores = 0 },
+		func(c *SLOControllerConfig) { c.MaxCores = pool.Len() + 1 },
+		func(c *SLOControllerConfig) { c.SamplePeriod = 0 },
+		func(c *SLOControllerConfig) { c.Headroom = 1 },
+	}
+	for i, mut := range mutations {
+		c := good
+		mut(&c)
+		if _, err := NewSLOController(n, c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := NewSLOController(nil, good); err == nil {
+		t.Error("nil node accepted")
+	}
+}
+
+func TestSLOControllerEnforcesTarget(t *testing.T) {
+	// Closed-loop RNN1's structural p95 floor is pipeline depth over
+	// throughput (~20 ms); under DRAM-H the tail inflates toward ~24 ms.
+	// A 22 ms objective is feasible only by revoking antagonist cores.
+	n, server, ctl := sloSetup(t, 0.022)
+	n.Run(2 * sim.Second)
+	n.StartMeasurement()
+	n.Run(2 * sim.Second)
+	if got := ctl.Cores(); got >= 20 {
+		t.Errorf("controller kept %d cores despite SLO pressure", got)
+	}
+	tail := server.TailLatency(0.95)
+	if tail > 0.022*1.1 {
+		t.Errorf("p95 = %.4fs, want near the 22 ms objective", tail)
+	}
+	if len(ctl.History()) == 0 {
+		t.Error("no decisions recorded")
+	}
+}
+
+func TestSLOControllerRelaxesUnderLooseTarget(t *testing.T) {
+	// A 100 ms objective is trivially met: the antagonist keeps its cores.
+	n, _, ctl := sloSetup(t, 0.100)
+	n.Run(3 * sim.Second)
+	if got := ctl.Cores(); got < 20 {
+		t.Errorf("controller revoked to %d cores under a loose SLO", got)
+	}
+}

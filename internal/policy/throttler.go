@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+
+	"kelp/internal/cpu"
+	"kelp/internal/node"
+)
+
+// ThrottlerWatermarks are CoreThrottle's thresholds. Prior work (Heracles,
+// Dirigent, CPI^2) reacts to socket bandwidth and latency only — it predates
+// the distress-signal measurement, which is exactly the gap Kelp exploits.
+type ThrottlerWatermarks struct {
+	SocketBWHigh, SocketBWLow float64
+	LatencyHigh, LatencyLow   float64
+}
+
+// DefaultThrottlerWatermarks mirrors the conservative Kelp thresholds at
+// socket scope.
+func DefaultThrottlerWatermarks(socketBW, baseLatency float64) ThrottlerWatermarks {
+	return ThrottlerWatermarks{
+		SocketBWHigh: 0.75 * socketBW,
+		SocketBWLow:  0.50 * socketBW,
+		LatencyHigh:  3.0 * baseLatency,
+		LatencyLow:   2.0 * baseLatency,
+	}
+}
+
+// ThrottlerConfig parameterizes the CoreThrottle controller.
+type ThrottlerConfig struct {
+	Socket       int
+	Group        string
+	Pool         cpu.Set
+	MinCores     int
+	MaxCores     int
+	Watermarks   ThrottlerWatermarks
+	SamplePeriod float64
+}
+
+// ThrottlerDecision records one control period for the actuator plots
+// (Fig. 11a, Fig. 12a).
+type ThrottlerDecision struct {
+	Time     float64
+	SocketBW float64
+	Latency  float64
+	Cores    int
+}
+
+// Throttler is the CoreThrottle runtime: a feedback loop that narrows or
+// widens the low-priority tasks' CPU mask (paper §V-A, configuration CT,
+// mimicking [28][29][30]).
+type Throttler struct {
+	n       *node.Node
+	cfg     ThrottlerConfig
+	cur     int
+	history []ThrottlerDecision
+}
+
+// NewThrottler builds the controller and grants the full mask initially.
+func NewThrottler(n *node.Node, cfg ThrottlerConfig) (*Throttler, error) {
+	if n == nil {
+		return nil, fmt.Errorf("policy: nil node")
+	}
+	if cfg.Group == "" {
+		return nil, fmt.Errorf("policy: throttler needs a group")
+	}
+	if _, err := n.Cgroups().Group(cfg.Group); err != nil {
+		return nil, err
+	}
+	if cfg.MinCores < 1 || cfg.MaxCores < cfg.MinCores || cfg.MaxCores > cfg.Pool.Len() {
+		return nil, fmt.Errorf("policy: throttler core bounds [%d, %d] over %d cores",
+			cfg.MinCores, cfg.MaxCores, cfg.Pool.Len())
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("policy: SamplePeriod = %v", cfg.SamplePeriod)
+	}
+	t := &Throttler{n: n, cfg: cfg, cur: cfg.MaxCores}
+	if err := n.Cgroups().SetCPUs(cfg.Group, cfg.Pool.Take(t.cur)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Cores returns the currently granted core count.
+func (t *Throttler) Cores() int { return t.cur }
+
+// History returns per-period decisions (do not mutate).
+func (t *Throttler) History() []ThrottlerDecision { return t.history }
+
+// Control implements sim.Controller.
+func (t *Throttler) Control(now float64) {
+	s := t.n.Monitor().Window()
+	if s.Elapsed == 0 {
+		return
+	}
+	bw := s.SocketBW[t.cfg.Socket]
+	lat := s.SocketLatency[t.cfg.Socket]
+	w := t.cfg.Watermarks
+	switch {
+	case bw > w.SocketBWHigh || lat > w.LatencyHigh:
+		if t.cur > t.cfg.MinCores {
+			t.cur--
+		}
+	case bw < w.SocketBWLow && lat < w.LatencyLow:
+		if t.cur < t.cfg.MaxCores {
+			t.cur++
+		}
+	}
+	if err := t.n.Cgroups().SetCPUs(t.cfg.Group, t.cfg.Pool.Take(t.cur)); err != nil {
+		panic(fmt.Sprintf("policy: throttler enforce: %v", err))
+	}
+	t.history = append(t.history, ThrottlerDecision{
+		Time: now, SocketBW: bw, Latency: lat, Cores: t.cur,
+	})
+}

@@ -1,0 +1,145 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kelp/internal/core"
+	"kelp/internal/memsys"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default("CNN1").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Watermarks.HiPriorityBWLowFrac = p.Watermarks.HiPriorityBWHighFrac + 1 },
+		func(p *Profile) { p.Watermarks.SocketBWHighFrac = 0 },
+		func(p *Profile) { p.Watermarks.SocketBWHighFrac = 1.5 },
+		func(p *Profile) { p.Watermarks.LatencyHighX = 0 },
+		func(p *Profile) { p.Watermarks.SaturationHigh = 1.5 },
+		func(p *Profile) { p.MinLowCores = 0 },
+		func(p *Profile) { p.MaxBackfillCores = -1 },
+		func(p *Profile) { p.SamplePeriodSec = 0 },
+	}
+	for i, mut := range mutations {
+		p := Default("x")
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMaterializeMatchesCoreDefaults(t *testing.T) {
+	mem := memsys.DefaultConfig()
+	got := Default("x").Materialize(mem)
+	want := core.DefaultWatermarks(mem.BWPerController, mem.BaseLatency)
+	if math.Abs(got.HiPriorityBWHigh-want.HiPriorityBWHigh) > 1 ||
+		math.Abs(got.SocketBWHigh-want.SocketBWHigh) > 1 ||
+		math.Abs(got.LatencyHigh-want.LatencyHigh) > 1e-12 ||
+		got.SaturationHigh != want.SaturationHigh {
+		t.Errorf("materialized = %+v, want %+v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializeScalesWithMachine(t *testing.T) {
+	small := memsys.DefaultConfig()
+	big := small
+	big.BWPerController *= 2
+	p := Default("x")
+	if !(p.Materialize(big).HiPriorityBWHigh > p.Materialize(small).HiPriorityBWHigh) {
+		t.Error("watermarks did not scale with controller bandwidth")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Default("RNN1")
+	p.Watermarks.SaturationHigh = 0.07
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip changed profile: %+v vs %+v", got, p)
+	}
+}
+
+func TestDecodeRejectsBadJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"name":""}`,
+		`{"name":"x","unknown_field":1}`,
+	}
+	for _, s := range cases {
+		if _, err := Decode(strings.NewReader(s)); err == nil {
+			t.Errorf("Decode(%q) accepted", s)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	p := Default("x")
+	p.MinLowCores = 0
+	if err := p.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("invalid profile encoded")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rnn1.json")
+	p := Default("RNN1")
+	if err := Save(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("loaded %+v, want %+v", got, p)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	custom := Default("CNN1")
+	custom.SamplePeriodSec = 5
+	if err := r.Put(custom); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Get("CNN1"); got.SamplePeriodSec != 5 {
+		t.Errorf("Get returned %+v", got)
+	}
+	// Unprofiled tasks fall back to the conservative default.
+	fallback := r.Get("mystery")
+	if fallback.Name != "mystery" || fallback.SamplePeriodSec != 10 {
+		t.Errorf("fallback = %+v", fallback)
+	}
+	bad := Default("x")
+	bad.MinLowCores = 0
+	if err := r.Put(bad); err == nil {
+		t.Error("invalid profile stored")
+	}
+	if len(r.Names()) != 1 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}

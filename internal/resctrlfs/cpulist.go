@@ -1,0 +1,146 @@
+// Package resctrlfs exposes a node's control surface through the textual
+// interface a real Kelp deployment would use: the cgroup filesystem
+// (cpuset.cpus, cpuset.mems), the resctrl filesystem (CAT schemata), the
+// prefetcher MSR knob, and read-only performance counters — all as a small
+// virtual file tree with the exact value formats of the Linux interfaces.
+//
+// This is the layer the reproduction's "cgroups/resctrl via sysfs" guidance
+// points at: the Kelp runtime's actuations are expressible as plain file
+// reads and writes, so an operator (or an integration test) can drive and
+// inspect the simulated node exactly as they would a production host.
+package resctrlfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kelp/internal/cpu"
+)
+
+// ParseCPUList parses the Linux cpulist format ("0-5,8,10-11") into a core
+// set. The empty string is the empty set.
+func ParseCPUList(s string) (cpu.Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("resctrlfs: empty range in cpulist %q", s)
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("resctrlfs: bad cpu %q in %q", lo, s)
+		}
+		b := a
+		if found {
+			b, err = strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil || b < a {
+				return nil, fmt.Errorf("resctrlfs: bad range %q in %q", part, s)
+			}
+		}
+		for id := a; id <= b; id++ {
+			ids = append(ids, id)
+		}
+	}
+	return cpu.NewSet(ids...), nil
+}
+
+// FormatCPUList renders a core set in the Linux cpulist format.
+func FormatCPUList(set cpu.Set) string {
+	if set.Len() == 0 {
+		return ""
+	}
+	s := append(cpu.Set(nil), set...)
+	sort.Ints(s)
+	var parts []string
+	start, prev := s[0], s[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, strconv.Itoa(start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, id := range s[1:] {
+		if id == prev+1 {
+			prev = id
+			continue
+		}
+		flush()
+		start, prev = id, id
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// ParseSchemata parses a resctrl L3 schemata line ("L3:0=7f0;1=7ff") and
+// returns the per-cache-id way masks. Our LLC model applies one mask per
+// group across sockets, so callers typically use cache id 0.
+func ParseSchemata(s string) (map[int]uint64, error) {
+	s = strings.TrimSpace(s)
+	body, ok := strings.CutPrefix(s, "L3:")
+	if !ok {
+		return nil, fmt.Errorf("resctrlfs: schemata %q must start with L3:", s)
+	}
+	out := make(map[int]uint64)
+	for _, part := range strings.Split(body, ";") {
+		idStr, maskStr, found := strings.Cut(part, "=")
+		if !found {
+			return nil, fmt.Errorf("resctrlfs: bad schemata entry %q", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("resctrlfs: bad cache id %q", idStr)
+		}
+		mask, err := strconv.ParseUint(strings.TrimSpace(maskStr), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resctrlfs: bad mask %q", maskStr)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("resctrlfs: duplicate cache id %d", id)
+		}
+		out[id] = mask
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("resctrlfs: empty schemata %q", s)
+	}
+	return out, nil
+}
+
+// ParseMBSchemata parses a resctrl MB (Memory Bandwidth Allocation) line
+// ("MB:0=50") and returns the throttle percentage for cache id 0.
+func ParseMBSchemata(s string) (int, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(s), "MB:")
+	if !ok {
+		return 0, fmt.Errorf("resctrlfs: MB schemata %q must start with MB:", s)
+	}
+	idStr, pctStr, found := strings.Cut(body, "=")
+	if !found || strings.TrimSpace(idStr) != "0" {
+		return 0, fmt.Errorf("resctrlfs: MB schemata must set cache id 0: %q", s)
+	}
+	pct, err := strconv.Atoi(strings.TrimSpace(pctStr))
+	if err != nil {
+		return 0, fmt.Errorf("resctrlfs: bad MB percent %q", pctStr)
+	}
+	return pct, nil
+}
+
+// FormatSchemata renders per-cache-id way masks as an L3 schemata line.
+func FormatSchemata(masks map[int]uint64) string {
+	ids := make([]int, 0, len(masks))
+	for id := range masks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%x", id, masks[id])
+	}
+	return "L3:" + strings.Join(parts, ";")
+}

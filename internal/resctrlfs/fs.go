@@ -1,0 +1,266 @@
+package resctrlfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/node"
+)
+
+// FS is the virtual file tree over one node's control surface.
+//
+//	/cgroup/<group>/cpuset.cpus    rw  Linux cpulist ("0-5,8")
+//	/cgroup/<group>/cpuset.mems    rw  NUMA node id ("1" = socket*subs+sub)
+//	/cgroup/<group>/priority       rw  "high" | "low"
+//	/cgroup/<group>/prefetchers    rw  count of prefetcher-enabled cores
+//	/resctrl/<group>/schemata      rw  "L3:0=7f0" CAT way mask
+//	/proc/counters                 ro  windowless snapshot of the monitor
+//	/proc/topology                 ro  sockets/cores/subdomains
+type FS struct {
+	n *node.Node
+}
+
+// New binds a file tree to a node.
+func New(n *node.Node) (*FS, error) {
+	if n == nil {
+		return nil, fmt.Errorf("resctrlfs: nil node")
+	}
+	return &FS{n: n}, nil
+}
+
+// split returns the cleaned path segments.
+func split(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mkdir creates a cgroup (and its resctrl twin) at /cgroup/<name>, with low
+// priority, like mkdir on the real filesystems.
+func (fs *FS) Mkdir(path string) error {
+	seg := split(path)
+	if len(seg) != 2 || (seg[0] != "cgroup" && seg[0] != "resctrl") {
+		return fmt.Errorf("resctrlfs: cannot mkdir %q", path)
+	}
+	_, err := fs.n.Cgroups().Create(seg[1], cgroup.Low)
+	return err
+}
+
+// Rmdir removes a cgroup.
+func (fs *FS) Rmdir(path string) error {
+	seg := split(path)
+	if len(seg) != 2 || (seg[0] != "cgroup" && seg[0] != "resctrl") {
+		return fmt.Errorf("resctrlfs: cannot rmdir %q", path)
+	}
+	return fs.n.Cgroups().Remove(seg[1])
+}
+
+// ReadDir lists entries under a directory path.
+func (fs *FS) ReadDir(path string) ([]string, error) {
+	seg := split(path)
+	switch {
+	case len(seg) == 0:
+		return []string{"cgroup", "proc", "resctrl"}, nil
+	case len(seg) == 1 && (seg[0] == "cgroup" || seg[0] == "resctrl"):
+		var names []string
+		for _, g := range fs.n.Cgroups().Groups() {
+			names = append(names, g.Name())
+		}
+		sort.Strings(names)
+		return names, nil
+	case len(seg) == 1 && seg[0] == "proc":
+		return []string{"counters", "topology"}, nil
+	case len(seg) == 2 && seg[0] == "cgroup":
+		if _, err := fs.n.Cgroups().Group(seg[1]); err != nil {
+			return nil, err
+		}
+		return []string{"cpuset.cpus", "cpuset.mems", "prefetchers", "priority"}, nil
+	case len(seg) == 2 && seg[0] == "resctrl":
+		if _, err := fs.n.Cgroups().Group(seg[1]); err != nil {
+			return nil, err
+		}
+		return []string{"schemata"}, nil
+	}
+	return nil, fmt.Errorf("resctrlfs: no such directory %q", path)
+}
+
+// numaNode maps a memory policy to a Linux-style NUMA node id: with SNC on,
+// each subdomain is its own node; off, nodes are sockets.
+func (fs *FS) numaNode(pol cgroup.MemPolicy) int {
+	if fs.n.Memory().Config().SNCEnabled {
+		return pol.Socket*fs.n.Processor().Topology().SubdomainsPerSocket + pol.Subdomain
+	}
+	return pol.Socket
+}
+
+func (fs *FS) policyFromNUMANode(id int) (cgroup.MemPolicy, error) {
+	topo := fs.n.Processor().Topology()
+	if fs.n.Memory().Config().SNCEnabled {
+		subs := topo.SubdomainsPerSocket
+		pol := cgroup.MemPolicy{Socket: id / subs, Subdomain: id % subs}
+		if pol.Socket >= topo.Sockets {
+			return pol, fmt.Errorf("resctrlfs: NUMA node %d out of range", id)
+		}
+		return pol, nil
+	}
+	if id < 0 || id >= topo.Sockets {
+		return cgroup.MemPolicy{}, fmt.Errorf("resctrlfs: NUMA node %d out of range", id)
+	}
+	return cgroup.MemPolicy{Socket: id}, nil
+}
+
+// ReadFile reads a file's current contents (without trailing newline).
+func (fs *FS) ReadFile(path string) (string, error) {
+	seg := split(path)
+	if len(seg) == 2 && seg[0] == "proc" {
+		switch seg[1] {
+		case "topology":
+			topo := fs.n.Processor().Topology()
+			return fmt.Sprintf("sockets: %d\ncores_per_socket: %d\nsubdomains_per_socket: %d\nsnc: %v",
+				topo.Sockets, topo.CoresPerSocket, topo.SubdomainsPerSocket,
+				fs.n.Memory().Config().SNCEnabled), nil
+		case "counters":
+			return fs.counters(), nil
+		}
+		return "", fmt.Errorf("resctrlfs: no such file %q", path)
+	}
+	if len(seg) != 3 {
+		return "", fmt.Errorf("resctrlfs: no such file %q", path)
+	}
+	g, err := fs.n.Cgroups().Group(seg[1])
+	if err != nil {
+		return "", err
+	}
+	switch seg[0] + "/" + seg[2] {
+	case "cgroup/cpuset.cpus":
+		return FormatCPUList(g.CPUs()), nil
+	case "cgroup/cpuset.mems":
+		return strconv.Itoa(fs.numaNode(g.MemPolicy())), nil
+	case "cgroup/priority":
+		return g.Priority().String(), nil
+	case "cgroup/prefetchers":
+		on, err := fs.n.Cgroups().PrefetchersOn(g.Name())
+		if err != nil {
+			return "", err
+		}
+		return strconv.Itoa(on), nil
+	case "resctrl/schemata":
+		mask := g.LLCWays()
+		if mask == 0 {
+			mask = fs.n.Memory().Config().AllWays()
+		}
+		return FormatSchemata(map[int]uint64{0: mask}) + "\n" +
+			fmt.Sprintf("MB:0=%d", g.MBAPercent()), nil
+	}
+	return "", fmt.Errorf("resctrlfs: no such file %q", path)
+}
+
+// WriteFile writes a control file, applying the actuation immediately.
+func (fs *FS) WriteFile(path, data string) error {
+	seg := split(path)
+	if len(seg) != 3 {
+		return fmt.Errorf("resctrlfs: no such file %q", path)
+	}
+	name := seg[1]
+	cg := fs.n.Cgroups()
+	if _, err := cg.Group(name); err != nil {
+		return err
+	}
+	data = strings.TrimSpace(data)
+	switch seg[0] + "/" + seg[2] {
+	case "cgroup/cpuset.cpus":
+		set, err := ParseCPUList(data)
+		if err != nil {
+			return err
+		}
+		return cg.SetCPUs(name, set)
+	case "cgroup/cpuset.mems":
+		id, err := strconv.Atoi(data)
+		if err != nil {
+			return fmt.Errorf("resctrlfs: bad NUMA node %q", data)
+		}
+		pol, err := fs.policyFromNUMANode(id)
+		if err != nil {
+			return err
+		}
+		return cg.SetMemPolicy(name, pol)
+	case "cgroup/priority":
+		switch data {
+		case "high":
+			return cg.SetPriority(name, cgroup.High)
+		case "low":
+			return cg.SetPriority(name, cgroup.Low)
+		}
+		return fmt.Errorf("resctrlfs: priority must be high or low, got %q", data)
+	case "cgroup/prefetchers":
+		count, err := strconv.Atoi(data)
+		if err != nil || count < 0 {
+			return fmt.Errorf("resctrlfs: bad prefetcher count %q", data)
+		}
+		_, err = cg.SetPrefetchCount(name, count)
+		return err
+	case "resctrl/schemata":
+		// A schemata write may carry L3 and/or MB lines, like the real
+		// resctrl file.
+		for _, line := range strings.Split(data, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(line, "L3:"):
+				masks, err := ParseSchemata(line)
+				if err != nil {
+					return err
+				}
+				mask, ok := masks[0]
+				if !ok {
+					return fmt.Errorf("resctrlfs: schemata must set cache id 0")
+				}
+				if mask&^fs.n.Memory().Config().AllWays() != 0 {
+					return fmt.Errorf("resctrlfs: mask %x exceeds %d ways",
+						mask, fs.n.Memory().Config().LLCWays)
+				}
+				if err := cg.SetLLCWays(name, mask); err != nil {
+					return err
+				}
+			case strings.HasPrefix(line, "MB:"):
+				pct, err := ParseMBSchemata(line)
+				if err != nil {
+					return err
+				}
+				if err := cg.SetMBA(name, pct); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("resctrlfs: unknown schemata line %q", line)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("resctrlfs: no such file %q", path)
+}
+
+// counters renders the monitor's current window as key: value lines. The
+// read consumes the window, like reading a PMU delta.
+func (fs *FS) counters() string {
+	s := fs.n.Monitor().Window()
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed_s: %.6f\n", s.Elapsed)
+	for sock := range s.SocketBW {
+		fmt.Fprintf(&b, "socket%d_bw_gbps: %.3f\n", sock, s.SocketBW[sock]/1e9)
+		fmt.Fprintf(&b, "socket%d_latency_ns: %.1f\n", sock, s.SocketLatency[sock]*1e9)
+		fmt.Fprintf(&b, "socket%d_saturation: %.4f\n", sock, s.SocketSaturation[sock])
+		for c := range s.ControllerBW[sock] {
+			fmt.Fprintf(&b, "socket%d_ctl%d_bw_gbps: %.3f\n", sock, c, s.ControllerBW[sock][c]/1e9)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

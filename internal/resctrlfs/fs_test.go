@@ -1,0 +1,334 @@
+package resctrlfs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/cpu"
+	"kelp/internal/node"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+func newFS(t *testing.T) (*FS, *node.Node) {
+	t.Helper()
+	n, err := node.New(node.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, n
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"0", []int{0}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0-2,5,7-8", []int{0, 1, 2, 5, 7, 8}, false},
+		{" 1 , 3 - 4 ", []int{1, 3, 4}, false},
+		{"3-1", nil, true},
+		{"a", nil, true},
+		{"-1", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseCPUList(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if got.Len() != len(c.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i, id := range c.want {
+			if got[i] != id {
+				t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestFormatCPUList(t *testing.T) {
+	cases := []struct {
+		in   cpu.Set
+		want string
+	}{
+		{nil, ""},
+		{cpu.NewSet(0), "0"},
+		{cpu.NewSet(0, 1, 2, 3), "0-3"},
+		{cpu.NewSet(0, 2, 3, 7), "0,2-3,7"},
+	}
+	for _, c := range cases {
+		if got := FormatCPUList(c.in); got != c.want {
+			t.Errorf("FormatCPUList(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCPUListRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = rng.Intn(40)
+		}
+		set := cpu.NewSet(ids...)
+		parsed, err := ParseCPUList(FormatCPUList(set))
+		if err != nil || parsed.Len() != set.Len() {
+			return false
+		}
+		for i := range set {
+			if parsed[i] != set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSchemata(t *testing.T) {
+	got, err := ParseSchemata("L3:0=7f0;1=f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x7f0 || got[1] != 0xf {
+		t.Errorf("ParseSchemata = %#v", got)
+	}
+	bad := []string{"", "MB:0=10", "L3:", "L3:0", "L3:x=1", "L3:0=zz", "L3:0=1;0=2"}
+	for _, s := range bad {
+		if _, err := ParseSchemata(s); err == nil {
+			t.Errorf("ParseSchemata(%q) accepted", s)
+		}
+	}
+}
+
+func TestFormatSchemata(t *testing.T) {
+	got := FormatSchemata(map[int]uint64{1: 0xf, 0: 0x7f0})
+	if got != "L3:0=7f0;1=f" {
+		t.Errorf("FormatSchemata = %q", got)
+	}
+}
+
+func TestMkdirReadWrite(t *testing.T) {
+	fs, n := newFS(t)
+	if err := fs.Mkdir("/cgroup/batch"); err != nil {
+		t.Fatal(err)
+	}
+	// cpuset.cpus round trip.
+	if err := fs.WriteFile("/cgroup/batch/cpuset.cpus", "0-3,8"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/cgroup/batch/cpuset.cpus")
+	if err != nil || got != "0-3,8" {
+		t.Errorf("cpuset.cpus = %q, %v", got, err)
+	}
+	g, _ := n.Cgroups().Group("batch")
+	if g.CPUs().Len() != 5 {
+		t.Errorf("group cpus = %v", g.CPUs())
+	}
+
+	// priority starts low, can be raised.
+	if got, _ := fs.ReadFile("/cgroup/batch/priority"); got != "low" {
+		t.Errorf("priority = %q", got)
+	}
+	if err := fs.WriteFile("/cgroup/batch/priority", "high"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Priority() != cgroup.High {
+		t.Error("priority write not applied")
+	}
+	if err := fs.WriteFile("/cgroup/batch/priority", "urgent"); err == nil {
+		t.Error("bad priority accepted")
+	}
+
+	// NUMA policy via cpuset.mems.
+	if err := fs.WriteFile("/cgroup/batch/cpuset.mems", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if g.MemPolicy().Socket != 1 {
+		t.Errorf("mem policy = %+v", g.MemPolicy())
+	}
+	if err := fs.WriteFile("/cgroup/batch/cpuset.mems", "9"); err == nil {
+		t.Error("bad NUMA node accepted")
+	}
+
+	// Prefetchers.
+	if err := fs.WriteFile("/cgroup/batch/prefetchers", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/cgroup/batch/prefetchers"); got != "2" {
+		t.Errorf("prefetchers = %q", got)
+	}
+	if err := fs.WriteFile("/cgroup/batch/prefetchers", "-1"); err == nil {
+		t.Error("negative prefetchers accepted")
+	}
+
+	// CAT schemata.
+	if err := fs.WriteFile("/resctrl/batch/schemata", "L3:0=7"); err != nil {
+		t.Fatal(err)
+	}
+	if g.LLCWays() != 7 {
+		t.Errorf("LLCWays = %#x", g.LLCWays())
+	}
+	if got, _ := fs.ReadFile("/resctrl/batch/schemata"); got != "L3:0=7\nMB:0=100" {
+		t.Errorf("schemata = %q", got)
+	}
+	// MB line sets the MBA throttle; both lines may be written together.
+	if err := fs.WriteFile("/resctrl/batch/schemata", "L3:0=3\nMB:0=50"); err != nil {
+		t.Fatal(err)
+	}
+	if g.LLCWays() != 3 || g.MBAPercent() != 50 {
+		t.Errorf("schemata write: ways=%#x mba=%d", g.LLCWays(), g.MBAPercent())
+	}
+	if err := fs.WriteFile("/resctrl/batch/schemata", "MB:0=55"); err == nil {
+		t.Error("off-step MBA percent accepted")
+	}
+	if err := fs.WriteFile("/resctrl/batch/schemata", "CPUQ:0=1"); err == nil {
+		t.Error("unknown schemata resource accepted")
+	}
+	if err := fs.WriteFile("/resctrl/batch/schemata", "L3:0=fffff"); err == nil {
+		t.Error("oversized mask accepted")
+	}
+	if err := fs.WriteFile("/resctrl/batch/schemata", "L3:1=7"); err == nil {
+		t.Error("schemata without cache id 0 accepted")
+	}
+}
+
+func TestNUMANodeMappingWithSNC(t *testing.T) {
+	cfg := node.DefaultConfig()
+	cfg.Memory.SNCEnabled = true
+	n := node.MustNew(cfg)
+	fs, _ := New(n)
+	fs.Mkdir("/cgroup/g")
+	// With SNC, NUMA node 3 = socket 1 subdomain 1.
+	if err := fs.WriteFile("/cgroup/g/cpuset.mems", "3"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.Cgroups().Group("g")
+	if g.MemPolicy().Socket != 1 || g.MemPolicy().Subdomain != 1 {
+		t.Errorf("policy = %+v", g.MemPolicy())
+	}
+	if got, _ := fs.ReadFile("/cgroup/g/cpuset.mems"); got != "3" {
+		t.Errorf("cpuset.mems = %q", got)
+	}
+	if err := fs.WriteFile("/cgroup/g/cpuset.mems", "4"); err == nil {
+		t.Error("NUMA node 4 accepted on a 2x2 machine")
+	}
+}
+
+func TestDefaultSchemataShowsAllWays(t *testing.T) {
+	fs, n := newFS(t)
+	fs.Mkdir("/cgroup/g")
+	got, err := fs.ReadFile("/resctrl/g/schemata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FormatSchemata(map[int]uint64{0: n.Memory().Config().AllWays()}) + "\nMB:0=100"
+	if got != want {
+		t.Errorf("default schemata = %q, want %q", got, want)
+	}
+}
+
+func TestReadDirAndRmdir(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.Mkdir("/cgroup/a")
+	fs.Mkdir("/cgroup/b")
+	root, err := fs.ReadDir("/")
+	if err != nil || len(root) != 3 {
+		t.Fatalf("root = %v, %v", root, err)
+	}
+	groups, err := fs.ReadDir("/cgroup")
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("groups = %v, %v", groups, err)
+	}
+	files, err := fs.ReadDir("/cgroup/a")
+	if err != nil || len(files) != 4 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	if _, err := fs.ReadDir("/cgroup/ghost"); err == nil {
+		t.Error("missing group listed")
+	}
+	if err := fs.Rmdir("/cgroup/a"); err != nil {
+		t.Fatal(err)
+	}
+	if groups, _ := fs.ReadDir("/cgroup"); len(groups) != 1 {
+		t.Errorf("groups after rmdir = %v", groups)
+	}
+	if err := fs.Rmdir("/cgroup/a"); err == nil {
+		t.Error("double rmdir accepted")
+	}
+	if err := fs.Mkdir("/nonsense/x"); err == nil {
+		t.Error("mkdir outside cgroup accepted")
+	}
+}
+
+func TestProcFiles(t *testing.T) {
+	fs, n := newFS(t)
+	topo, err := fs.ReadFile("/proc/topology")
+	if err != nil || !strings.Contains(topo, "sockets: 2") {
+		t.Errorf("topology = %q, %v", topo, err)
+	}
+	// Generate some traffic, then read counters.
+	fs.Mkdir("/cgroup/g")
+	fs.WriteFile("/cgroup/g/cpuset.cpus", "0-7")
+	l, _ := workload.NewStream(8)
+	if err := n.AddTask(l, "g"); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(100 * sim.Millisecond)
+	counters, err := fs.ReadFile("/proc/counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(counters, "socket0_bw_gbps") {
+		t.Errorf("counters missing bandwidth: %q", counters)
+	}
+	if strings.Contains(counters, "socket0_bw_gbps: 0.000") {
+		t.Error("counters show zero bandwidth despite running Stream")
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.Mkdir("/cgroup/g")
+	if _, err := fs.ReadFile("/cgroup/g/nope"); err == nil {
+		t.Error("unknown file read")
+	}
+	if err := fs.WriteFile("/cgroup/g/nope", "x"); err == nil {
+		t.Error("unknown file written")
+	}
+	if _, err := fs.ReadFile("/cgroup/ghost/cpuset.cpus"); err == nil {
+		t.Error("missing group read")
+	}
+	if err := fs.WriteFile("/cgroup/ghost/cpuset.cpus", "0"); err == nil {
+		t.Error("missing group written")
+	}
+	if _, err := fs.ReadFile("/proc/nope"); err == nil {
+		t.Error("unknown proc file read")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil node accepted")
+	}
+}

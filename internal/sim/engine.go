@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultStep is the default simulation time step.
+const DefaultStep Duration = 100 * Microsecond
+
+// Engine drives a fixed-timestep simulation.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now      Time
+	dt       Duration
+	steppers []Stepper
+	ctrls    []*scheduledController
+	rng      *RNG
+	steps    uint64
+}
+
+type scheduledController struct {
+	ctrl   Controller
+	period Duration
+	next   Time
+	name   string
+}
+
+// NewEngine returns an engine that advances time in steps of dt seconds,
+// with all randomness derived from seed.
+func NewEngine(dt Duration, seed int64) (*Engine, error) {
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("sim: invalid step %v", dt)
+	}
+	return &Engine{dt: dt, rng: NewRNG(seed)}, nil
+}
+
+// MustEngine is like NewEngine but panics on invalid arguments. It is meant
+// for tests and examples with constant parameters.
+func MustEngine(dt Duration, seed int64) *Engine {
+	e, err := NewEngine(dt, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Step returns the engine's time step.
+func (e *Engine) Step() Duration { return e.dt }
+
+// Steps returns the number of ticks executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// RNG returns the engine's root random source. Derive per-component streams
+// with RNG.Stream to keep runs reproducible under reordering.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// AddStepper registers a component to advance on every tick, in registration
+// order. Order matters: the node pipeline registers demand resolution before
+// task progress.
+func (e *Engine) AddStepper(s Stepper) {
+	if s == nil {
+		panic("sim: AddStepper(nil)")
+	}
+	e.steppers = append(e.steppers, s)
+}
+
+// AddController registers a periodic controller with the given sampling
+// period. The controller first fires at time period (not at zero), matching a
+// runtime that needs one full window of measurements before acting.
+func (e *Engine) AddController(name string, period Duration, c Controller) error {
+	if c == nil {
+		return errors.New("sim: nil controller")
+	}
+	if period <= 0 || math.IsNaN(period) {
+		return fmt.Errorf("sim: controller %q: invalid period %v", name, period)
+	}
+	e.ctrls = append(e.ctrls, &scheduledController{ctrl: c, period: period, next: period, name: name})
+	return nil
+}
+
+// Tick advances the simulation by exactly one step: due controllers fire,
+// then every stepper advances by dt.
+func (e *Engine) Tick() {
+	for _, sc := range e.ctrls {
+		// A controller can be overdue by several periods if its period is
+		// shorter than dt; fire once per tick at most, like a real sampler
+		// that can't run faster than its host loop.
+		if e.now+1e-12 >= sc.next {
+			sc.ctrl.Control(e.now)
+			for sc.next <= e.now+1e-12 {
+				sc.next += sc.period
+			}
+		}
+	}
+	for _, s := range e.steppers {
+		s.Step(e.now, e.dt)
+	}
+	e.now += e.dt
+	e.steps++
+}
+
+// Run advances the simulation until at least d seconds of simulated time have
+// elapsed from the current time.
+func (e *Engine) Run(d Duration) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: Run(%v)", d))
+	}
+	deadline := e.now + d
+	for e.now < deadline-1e-12 {
+		e.Tick()
+	}
+}
+
+// RunWhile advances the simulation while cond returns true, up to a hard cap
+// of maxTime simulated seconds. It returns the elapsed simulated time and
+// whether the condition ended the run (false means the cap was hit).
+func (e *Engine) RunWhile(maxTime Duration, cond func() bool) (elapsed Duration, done bool) {
+	start := e.now
+	deadline := e.now + maxTime
+	for cond() {
+		if e.now >= deadline {
+			return e.now - start, false
+		}
+		e.Tick()
+	}
+	return e.now - start, true
+}

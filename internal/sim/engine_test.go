@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEngineRejectsBadStep(t *testing.T) {
+	for _, dt := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewEngine(dt, 1); err == nil {
+			t.Errorf("NewEngine(%v) succeeded, want error", dt)
+		}
+	}
+}
+
+func TestEngineAdvancesTime(t *testing.T) {
+	e := MustEngine(1*Millisecond, 42)
+	e.Run(50 * Millisecond)
+	if got := e.Now(); !ApproxEqual(got, 50*Millisecond, 1e-9) {
+		t.Fatalf("Now() = %v, want 50ms", got)
+	}
+	if e.Steps() != 50 {
+		t.Fatalf("Steps() = %d, want 50", e.Steps())
+	}
+}
+
+func TestSteppersRunInOrderEveryTick(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	var order []int
+	e.AddStepper(StepFunc(func(now, dt float64) { order = append(order, 1) }))
+	e.AddStepper(StepFunc(func(now, dt float64) { order = append(order, 2) }))
+	e.Run(3 * Millisecond)
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("got %d calls, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("call order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestControllerFiresAtPeriod(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	var fires []float64
+	err := e.AddController("c", 10*Millisecond, ControlFunc(func(now float64) {
+		fires = append(fires, now)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(35 * Millisecond)
+	if len(fires) != 3 {
+		t.Fatalf("controller fired %d times (%v), want 3", len(fires), fires)
+	}
+	for i, want := range []float64{10 * Millisecond, 20 * Millisecond, 30 * Millisecond} {
+		if !ApproxEqual(fires[i], want, 1e-9) {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want)
+		}
+	}
+}
+
+func TestControllerRejectsBadArgs(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	if err := e.AddController("x", 0, ControlFunc(func(float64) {})); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := e.AddController("x", 1, nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+}
+
+func TestControllerFiresBeforeSteppersOnItsTick(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	var log []string
+	e.AddStepper(StepFunc(func(now, dt float64) { log = append(log, "step") }))
+	if err := e.AddController("c", 2*Millisecond, ControlFunc(func(now float64) {
+		log = append(log, "ctrl")
+	})); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2*Millisecond + 1*Millisecond)
+	// ticks at t=0 (step), t=1ms (step), t=2ms (ctrl, step)
+	want := []string{"step", "step", "ctrl", "step"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestRunWhileStopsOnCondition(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	n := 0
+	e.AddStepper(StepFunc(func(now, dt float64) { n++ }))
+	elapsed, done := e.RunWhile(1*Second, func() bool { return n < 7 })
+	if !done {
+		t.Fatal("RunWhile hit cap, want condition exit")
+	}
+	if n != 7 {
+		t.Fatalf("n = %d, want 7", n)
+	}
+	if !ApproxEqual(elapsed, 7*Millisecond, 1e-9) {
+		t.Fatalf("elapsed = %v, want 7ms", elapsed)
+	}
+}
+
+func TestRunWhileHonorsCap(t *testing.T) {
+	e := MustEngine(1*Millisecond, 1)
+	elapsed, done := e.RunWhile(5*Millisecond, func() bool { return true })
+	if done {
+		t.Fatal("RunWhile reported done, want cap hit")
+	}
+	if elapsed < 5*Millisecond-1e-9 {
+		t.Fatalf("elapsed = %v, want >= 5ms", elapsed)
+	}
+}
+
+func TestRNGStreamsAreReproducibleAndIndependent(t *testing.T) {
+	a1 := NewRNG(7).Stream("alpha")
+	a2 := NewRNG(7).Stream("alpha")
+	b := NewRNG(7).Stream("beta")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		x, y, z := a1.Float64(), a2.Float64(), b.Float64()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical (seed, name) streams diverged")
+	}
+	if !diff {
+		t.Error("streams with different names are identical")
+	}
+}
+
+func TestRNGSeedChangesStream(t *testing.T) {
+	s1 := NewRNG(1).Stream("x")
+	s2 := NewRNG(2).Stream("x")
+	equal := true
+	for i := 0; i < 32; i++ {
+		if s1.Float64() != s2.Float64() {
+			equal = false
+			break
+		}
+	}
+	if equal {
+		t.Error("different seeds produced the same stream")
+	}
+}
+
+func TestClampProperties(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.25, 0.25}, {1, 1}, {3, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	if Lerp(2, 10, 0) != 2 || Lerp(2, 10, 1) != 10 {
+		t.Error("Lerp endpoints wrong")
+	}
+	if got := Lerp(2, 10, 0.5); got != 6 {
+		t.Errorf("Lerp midpoint = %v, want 6", got)
+	}
+	if got := Lerp(2, 10, 5); got != 10 {
+		t.Errorf("Lerp clamps t: got %v, want 10", got)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(10, 2, -1); got != 5 {
+		t.Errorf("SafeDiv(10,2) = %v", got)
+	}
+	if got := SafeDiv(10, 0, -1); got != -1 {
+		t.Errorf("SafeDiv(10,0) = %v, want default", got)
+	}
+	if got := SafeDiv(10, math.NaN(), -1); got != -1 {
+		t.Errorf("SafeDiv(10,NaN) = %v, want default", got)
+	}
+}
+
+func TestFormatTime(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5e-6, "5.0µs"},
+		{2.5e-3, "2.500ms"},
+		{1.25, "1.250s"},
+	}
+	for _, c := range cases {
+		if got := FormatTime(c.in); got != c.want {
+			t.Errorf("FormatTime(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny absolute difference should be equal")
+	}
+	if !ApproxEqual(1e9, 1e9*(1+1e-10), 1e-9) {
+		t.Error("tiny relative difference should be equal")
+	}
+	if ApproxEqual(1.0, 2.0, 1e-9) {
+		t.Error("1 and 2 should differ")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := MustEngine(1*Millisecond, 99)
+		rng := e.RNG().Stream("load")
+		var out []float64
+		e.AddStepper(StepFunc(func(now, dt float64) {
+			out = append(out, rng.Float64())
+		}))
+		e.Run(10 * Millisecond)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package trace reproduces the paper's execution-timeline figure (Fig. 3):
+// the phase-by-phase timeline of the RNN1 inference server on the TPU
+// platform, standalone versus colocated with a DRAM antagonist, showing
+// that CPU-assist phases stretch dramatically (+51% in the paper) while
+// accelerator and communication phases do not.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"kelp/internal/accel"
+	"kelp/internal/cgroup"
+	"kelp/internal/node"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// Segment is one contiguous phase occurrence on the timeline.
+type Segment struct {
+	Phase      string // "cpu", "xfer", "accel", "idle"
+	Start, End float64
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Timeline is a recorded request execution trace.
+type Timeline struct {
+	Segments []Segment
+}
+
+// PhaseTotal sums the time spent in the named phase.
+func (t *Timeline) PhaseTotal(phase string) float64 {
+	var total float64
+	for _, s := range t.Segments {
+		if s.Phase == phase {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// Span returns total traced time.
+func (t *Timeline) Span() float64 {
+	if len(t.Segments) == 0 {
+		return 0
+	}
+	return t.Segments[len(t.Segments)-1].End - t.Segments[0].Start
+}
+
+// Render draws an ASCII timeline with the given resolution (seconds per
+// character), like the bars of Fig. 3.
+func (t *Timeline) Render(secPerChar float64) string {
+	if secPerChar <= 0 || len(t.Segments) == 0 {
+		return ""
+	}
+	glyph := map[string]byte{"cpu": 'C', "xfer": '-', "accel": 'A', "idle": '.'}
+	var b strings.Builder
+	for _, s := range t.Segments {
+		n := int(s.Duration()/secPerChar + 0.5)
+		g, ok := glyph[s.Phase]
+		if !ok {
+			g = '?'
+		}
+		for i := 0; i < n; i++ {
+			b.WriteByte(g)
+		}
+	}
+	return b.String()
+}
+
+// Config parameterizes a trace run.
+type Config struct {
+	// Aggressor level for the colocated run.
+	Level workload.Level
+	// Requests to trace (serial generation, as in the paper's figure).
+	Requests int
+	// Node configuration.
+	Node node.Config
+}
+
+// DefaultConfig traces 4 serial requests against a high aggressor.
+func DefaultConfig() Config {
+	return Config{Level: workload.LevelHigh, Requests: 4, Node: node.DefaultConfig()}
+}
+
+// Result compares the standalone and colocated timelines.
+type Result struct {
+	Standalone, Colocated Timeline
+	// CPUStretch is colocated/standalone CPU-phase time per request (the
+	// paper reports +51% under heavy contention).
+	CPUStretch float64
+	// AccelStretch is the same ratio for accelerator phases (~1.0).
+	AccelStretch float64
+}
+
+// Run produces both timelines.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("trace: Requests = %d", cfg.Requests)
+	}
+	standalone, err := traceRun(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	colocated, err := traceRun(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Standalone: *standalone, Colocated: *colocated}
+	if base := standalone.PhaseTotal("cpu"); base > 0 {
+		res.CPUStretch = colocated.PhaseTotal("cpu") / base
+	}
+	if base := standalone.PhaseTotal("accel"); base > 0 {
+		res.AccelStretch = colocated.PhaseTotal("accel") / base
+	}
+	return res, nil
+}
+
+// traceRun executes one serial-request RNN1 run and records its phases.
+func traceRun(cfg Config, withAggressor bool) (*Timeline, error) {
+	n, err := node.New(cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	cg := n.Cgroups()
+	if _, err := cg.Create("ml", cgroup.High); err != nil {
+		return nil, err
+	}
+	if err := cg.SetCPUs("ml", n.Processor().SocketCores(0).Take(2)); err != nil {
+		return nil, err
+	}
+	dev, err := accel.NewDevice(accel.NewTPU())
+	if err != nil {
+		return nil, err
+	}
+	base, err := workload.NewRNN1(dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Serial generation: one request at a time, as in the paper's figure.
+	icfg := base.Config()
+	icfg.ClosedLoop = true
+	icfg.MaxConcurrency = 1
+	server, err := workload.NewInference("RNN1-trace", dev, icfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.AddTask(server, "ml"); err != nil {
+		return nil, err
+	}
+
+	if withAggressor {
+		if _, err := cg.Create("agg", cgroup.Low); err != nil {
+			return nil, err
+		}
+		agg, err := workload.NewDRAMAggressor(cfg.Level)
+		if err != nil {
+			return nil, err
+		}
+		cores := n.Processor().SocketCores(0)
+		if err := cg.SetCPUs("agg", cores.Minus(cores.Take(2)).Take(agg.Config().Threads)); err != nil {
+			return nil, err
+		}
+		if err := n.AddTask(agg, "agg"); err != nil {
+			return nil, err
+		}
+	}
+
+	tl := &Timeline{}
+	last := ""
+	record := func(now float64) {
+		phase := server.PhaseName()
+		if phase == last && len(tl.Segments) > 0 {
+			tl.Segments[len(tl.Segments)-1].End = now
+			return
+		}
+		tl.Segments = append(tl.Segments, Segment{Phase: phase, Start: now, End: now})
+		last = phase
+	}
+	want := float64(cfg.Requests)
+	record(0)
+	_, done := n.Engine().RunWhile(30*sim.Second, func() bool {
+		record(n.Now())
+		return server.Completed() < want
+	})
+	if !done {
+		return nil, fmt.Errorf("trace: run did not complete %d requests", cfg.Requests)
+	}
+	return tl, nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"kelp/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestTimelineReproducesFig3(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: CPU phases stretch (~1.5x under heavy
+	// contention) while accelerator phases do not.
+	if r.CPUStretch < 1.2 {
+		t.Errorf("CPU stretch = %.2f, want noticeable stretch", r.CPUStretch)
+	}
+	if r.CPUStretch > 3.0 {
+		t.Errorf("CPU stretch = %.2f, implausibly large", r.CPUStretch)
+	}
+	if r.AccelStretch < 0.9 || r.AccelStretch > 1.1 {
+		t.Errorf("accel stretch = %.2f, want ~1.0 (insensitive)", r.AccelStretch)
+	}
+	// Both timelines contain CPU and accel phases.
+	for _, tl := range []Timeline{r.Standalone, r.Colocated} {
+		if tl.PhaseTotal("cpu") <= 0 || tl.PhaseTotal("accel") <= 0 {
+			t.Error("timeline missing phases")
+		}
+		if tl.Span() <= 0 {
+			t.Error("empty span")
+		}
+	}
+}
+
+func TestLightAggressorBarelyStretches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 2
+	cfg.Level = workload.LevelLow
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := DefaultConfig()
+	heavy.Requests = 2
+	rh, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.CPUStretch < rh.CPUStretch) {
+		t.Errorf("light aggressor stretch %.2f should be below heavy %.2f",
+			r.CPUStretch, rh.CPUStretch)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := Timeline{Segments: []Segment{
+		{Phase: "cpu", Start: 0, End: 2e-3},
+		{Phase: "xfer", Start: 2e-3, End: 3e-3},
+		{Phase: "accel", Start: 3e-3, End: 6e-3},
+		{Phase: "idle", Start: 6e-3, End: 7e-3},
+	}}
+	got := tl.Render(1e-3)
+	if got != "CC-AAA." {
+		t.Errorf("Render = %q, want CC-AAA.", got)
+	}
+	if tl.Render(0) != "" {
+		t.Error("zero resolution should render empty")
+	}
+	unknown := Timeline{Segments: []Segment{{Phase: "warp", Start: 0, End: 1e-3}}}
+	if !strings.Contains(unknown.Render(1e-3), "?") {
+		t.Error("unknown phase should render as ?")
+	}
+}
+
+func TestPhaseTotalsAndSpan(t *testing.T) {
+	tl := Timeline{Segments: []Segment{
+		{Phase: "cpu", Start: 1, End: 2},
+		{Phase: "accel", Start: 2, End: 5},
+		{Phase: "cpu", Start: 5, End: 6},
+	}}
+	if got := tl.PhaseTotal("cpu"); got != 2 {
+		t.Errorf("cpu total = %v", got)
+	}
+	if got := tl.Span(); got != 5 {
+		t.Errorf("span = %v", got)
+	}
+	var empty Timeline
+	if empty.Span() != 0 || empty.Render(1) != "" {
+		t.Error("empty timeline should be inert")
+	}
+}

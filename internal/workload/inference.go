@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kelp/internal/accel"
+	"kelp/internal/metrics"
+)
+
+// InferenceConfig parameterizes a pipelined inference server (the paper's
+// RNN1 on the TPU platform).
+type InferenceConfig struct {
+	// TargetQPS is the offered load. The paper picks the knee of the
+	// throughput/latency curve.
+	TargetQPS float64
+	// MaxConcurrency caps admitted in-flight requests (the pipeline depth);
+	// excess arrivals wait in an admission queue.
+	MaxConcurrency int
+	// IterationsPerRequest: each query decomposes into this many iterations
+	// of CPU -> transfer -> accelerator work (Fig. 3).
+	IterationsPerRequest int
+	// CPUWorkPerIter is host work per iteration, core-seconds (beam search).
+	CPUWorkPerIter float64
+	// Mem is the CPU phase's memory behaviour.
+	Mem MemProfile
+	// XferBytes is the per-iteration PCIe transfer size.
+	XferBytes float64
+	// AccelWorkPerIter is accelerator work units per iteration.
+	AccelWorkPerIter float64
+	// ArrivalJitter in [0, 1) randomizes interarrival times by up to that
+	// fraction; 0 is a deterministic arrival process.
+	ArrivalJitter float64
+	// MaxQueue bounds the admission queue; arrivals beyond it are dropped
+	// (and counted), so tail latency saturates instead of growing with run
+	// length under overload. 0 means 4x MaxConcurrency.
+	MaxQueue int
+	// ClosedLoop replaces the open arrival process with a pipelined load
+	// generator that keeps exactly MaxConcurrency requests in flight — the
+	// paper's "parallel and pipelined" generation, which sits at the knee
+	// of the throughput/latency curve by construction. TargetQPS and
+	// ArrivalJitter are ignored.
+	ClosedLoop bool
+}
+
+func (c InferenceConfig) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.MaxConcurrency
+}
+
+// Validate reports whether the configuration is usable.
+func (c InferenceConfig) Validate() error {
+	switch {
+	case c.TargetQPS <= 0 && !c.ClosedLoop:
+		return fmt.Errorf("workload: TargetQPS = %v", c.TargetQPS)
+	case c.MaxConcurrency < 1:
+		return fmt.Errorf("workload: MaxConcurrency = %d", c.MaxConcurrency)
+	case c.IterationsPerRequest < 1:
+		return fmt.Errorf("workload: IterationsPerRequest = %d", c.IterationsPerRequest)
+	case c.CPUWorkPerIter <= 0:
+		return fmt.Errorf("workload: CPUWorkPerIter = %v", c.CPUWorkPerIter)
+	case c.XferBytes < 0:
+		return fmt.Errorf("workload: XferBytes = %v", c.XferBytes)
+	case c.AccelWorkPerIter <= 0:
+		return fmt.Errorf("workload: AccelWorkPerIter = %v", c.AccelWorkPerIter)
+	case c.ArrivalJitter < 0 || c.ArrivalJitter >= 1:
+		return fmt.Errorf("workload: ArrivalJitter = %v", c.ArrivalJitter)
+	case c.MaxQueue < 0:
+		return fmt.Errorf("workload: MaxQueue = %d", c.MaxQueue)
+	}
+	return c.Mem.Validate()
+}
+
+type reqPhase int
+
+const (
+	reqCPU reqPhase = iota
+	reqXfer
+	reqAccel
+)
+
+type request struct {
+	arrival   float64
+	iter      int
+	phase     reqPhase
+	remaining float64 // core-seconds (CPU) or seconds (xfer)
+	accelDone float64 // absolute finish time when in reqAccel
+}
+
+// Inference is a pipelined inference server with an admission queue, an
+// accelerator FIFO, and per-request latency accounting. It implements Task.
+type Inference struct {
+	name   string
+	cfg    InferenceConfig
+	device *accel.Device
+	rng    *rand.Rand
+
+	nextArrival float64
+	queued      []float64 // arrival times of requests awaiting admission
+	inflight    []*request
+
+	completed metrics.Meter
+	latency   *metrics.Histogram
+	// window is a second histogram consumed by feedback controllers
+	// (Heracles-style SLO loops) that need recent tail latency rather than
+	// the full measured interval.
+	window  *metrics.Histogram
+	dropped uint64
+}
+
+// NewInference builds an inference server on the given device. rng drives
+// arrival jitter and may be nil when ArrivalJitter is 0.
+func NewInference(name string, device *accel.Device, cfg InferenceConfig, rng *rand.Rand) (*Inference, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workload: empty task name")
+	}
+	if device == nil {
+		return nil, fmt.Errorf("workload: %s: nil device", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ArrivalJitter > 0 && rng == nil && !cfg.ClosedLoop {
+		return nil, fmt.Errorf("workload: %s: jitter requires an rng", name)
+	}
+	return &Inference{
+		name:    name,
+		cfg:     cfg,
+		device:  device,
+		rng:     rng,
+		latency: metrics.NewLatencyHistogram(),
+		window:  metrics.NewLatencyHistogram(),
+	}, nil
+}
+
+// MustInference is NewInference that panics on invalid arguments.
+func MustInference(name string, device *accel.Device, cfg InferenceConfig, rng *rand.Rand) *Inference {
+	s, err := NewInference(name, device, cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements Task.
+func (s *Inference) Name() string { return s.name }
+
+// Config returns the server configuration.
+func (s *Inference) Config() InferenceConfig { return s.cfg }
+
+// InFlight returns the number of admitted, unfinished requests.
+func (s *Inference) InFlight() int { return len(s.inflight) }
+
+// QueueDepth returns the number of requests waiting for admission.
+func (s *Inference) QueueDepth() int { return len(s.queued) }
+
+// Offer implements Task: requests currently in their CPU phase occupy cores.
+func (s *Inference) Offer(now float64, cores float64) Offer {
+	k := 0
+	for _, r := range s.inflight {
+		if r.phase == reqCPU {
+			k++
+		}
+	}
+	if k == 0 || cores <= 0 {
+		return Offer{}
+	}
+	active := math.Min(float64(k), cores)
+	return Offer{ActiveCores: active, Mem: s.cfg.Mem}
+}
+
+func (s *Inference) interarrival() float64 {
+	base := 1 / s.cfg.TargetQPS
+	if s.cfg.ArrivalJitter == 0 {
+		return base
+	}
+	// Uniform jitter keeps the mean rate at TargetQPS.
+	return base * (1 + s.cfg.ArrivalJitter*(2*s.rng.Float64()-1))
+}
+
+// Advance implements Task.
+func (s *Inference) Advance(now, dt float64, cores float64, r Rates) {
+	end := now + dt
+
+	if s.cfg.ClosedLoop {
+		// Pipelined generator: top up to MaxConcurrency immediately;
+		// latency is pure service time.
+		for len(s.inflight) < s.cfg.MaxConcurrency {
+			s.inflight = append(s.inflight, &request{
+				arrival:   now,
+				phase:     reqCPU,
+				remaining: s.cfg.CPUWorkPerIter,
+			})
+		}
+	} else {
+		// 1. Arrivals up to the end of this step; overflow is dropped.
+		for s.nextArrival < end {
+			if len(s.queued) < s.cfg.maxQueue() {
+				s.queued = append(s.queued, s.nextArrival)
+			} else {
+				s.dropped++
+			}
+			s.nextArrival += s.interarrival()
+		}
+
+		// 2. Admission. Latency is measured from true arrival, so queueing
+		// delay under overload shows up in the tail, producing the knee the
+		// paper tunes RNN1's offered load to.
+		for len(s.queued) > 0 && len(s.inflight) < s.cfg.MaxConcurrency {
+			arr := s.queued[0]
+			s.queued = s.queued[1:]
+			s.inflight = append(s.inflight, &request{
+				arrival:   arr,
+				phase:     reqCPU,
+				remaining: s.cfg.CPUWorkPerIter,
+			})
+		}
+	}
+
+	// 3. Progress. CPU-phase requests share the task's cores equally; each
+	// request's beam search is single-threaded, so per-request speed is
+	// capped at one core's worth.
+	k := 0
+	for _, q := range s.inflight {
+		if q.phase == reqCPU {
+			k++
+		}
+	}
+	share := 1.0
+	if k > 0 && cores < float64(k) {
+		share = cores / float64(k)
+	}
+	if cores <= 0 {
+		share = 0
+	}
+	cpuRate := share * r.CPUFactor
+
+	var done []int
+	for i, q := range s.inflight {
+		switch q.phase {
+		case reqCPU:
+			q.remaining -= dt * cpuRate
+			if q.remaining <= 0 {
+				q.phase = reqXfer
+				q.remaining = s.device.Platform.TransferTime(s.cfg.XferBytes)
+			}
+		case reqXfer:
+			q.remaining -= dt
+			if q.remaining <= 0 {
+				q.phase = reqAccel
+				q.accelDone = s.device.Reserve(end, s.cfg.AccelWorkPerIter)
+			}
+		case reqAccel:
+			if end >= q.accelDone {
+				q.iter++
+				if q.iter >= s.cfg.IterationsPerRequest {
+					s.finish(end, q)
+					done = append(done, i)
+				} else {
+					q.phase = reqCPU
+					q.remaining = s.cfg.CPUWorkPerIter
+				}
+			}
+		}
+	}
+	if len(done) > 0 {
+		kept := s.inflight[:0]
+		di := 0
+		for i, q := range s.inflight {
+			if di < len(done) && done[di] == i {
+				di++
+				continue
+			}
+			kept = append(kept, q)
+		}
+		s.inflight = kept
+	}
+}
+
+func (s *Inference) finish(now float64, q *request) {
+	s.completed.Add(now, 1)
+	s.latency.Observe(now - q.arrival)
+	s.window.Observe(now - q.arrival)
+}
+
+// StartMeasurement implements Task.
+func (s *Inference) StartMeasurement(now float64) {
+	s.completed.StartMeasurement(now)
+	s.latency.Reset()
+	s.dropped = 0
+}
+
+// Dropped returns arrivals rejected by the full admission queue since the
+// last StartMeasurement.
+func (s *Inference) Dropped() uint64 { return s.dropped }
+
+// WindowTailLatency returns the q-quantile of request latency since the
+// previous WindowTailLatency call and resets the window — the read-and-
+// reset semantics an SLO feedback controller samples with. Returns 0 when
+// no requests completed in the window.
+func (s *Inference) WindowTailLatency(q float64) float64 {
+	v := s.window.Quantile(q)
+	s.window.Reset()
+	return v
+}
+
+// Throughput implements Task: completed queries per second.
+func (s *Inference) Throughput(now float64) float64 { return s.completed.Rate(now) }
+
+// TailLatency returns the q-quantile of request latency (0.95 for the
+// paper's 95%-ile plots).
+func (s *Inference) TailLatency(q float64) float64 { return s.latency.Quantile(q) }
+
+// MeanLatency returns mean request latency.
+func (s *Inference) MeanLatency() float64 { return s.latency.Mean() }
+
+// Completed returns queries finished in the measured interval.
+func (s *Inference) Completed() float64 { return s.completed.Total() }
+
+// PhaseName reports the phase of the oldest in-flight request ("cpu",
+// "xfer", "accel") or "idle". With MaxConcurrency 1 this is the serial
+// request timeline of the paper's Fig. 3.
+func (s *Inference) PhaseName() string {
+	if len(s.inflight) == 0 {
+		return "idle"
+	}
+	switch s.inflight[0].phase {
+	case reqCPU:
+		return "cpu"
+	case reqXfer:
+		return "xfer"
+	default:
+		return "accel"
+	}
+}
+
+// StandaloneRequestTime returns the uncontended service time of one query.
+func (s *Inference) StandaloneRequestTime() float64 {
+	iter := s.cfg.CPUWorkPerIter +
+		s.device.Platform.TransferTime(s.cfg.XferBytes) +
+		s.device.Platform.ComputeTime(s.cfg.AccelWorkPerIter)
+	return float64(s.cfg.IterationsPerRequest) * iter
+}

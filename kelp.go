@@ -1,0 +1,258 @@
+// Package kelp is a faithful, simulation-backed reproduction of "Kelp: QoS
+// for Accelerated Machine Learning Systems" (HPCA 2019).
+//
+// Kelp is a node-level runtime that protects a high-priority accelerated ML
+// task from host memory-bandwidth interference caused by colocated
+// low-priority CPU tasks. It places the ML task and the CPU tasks into
+// separate NUMA subdomains (Intel SNC/CoD), manages the socket-wide memory
+// backpressure mechanism by toggling the CPU tasks' L2 prefetchers, and
+// regains throughput lost to subdomain fragmentation by backfilling CPU
+// tasks into the high-priority subdomain under feedback control.
+//
+// Because the paper's substrate is production hardware (TPU/Cloud TPU/GPU
+// hosts with Intel-specific features), this library ships a calibrated
+// fluid simulation of that substrate — memory controllers, NUMA subdomains,
+// LLC with CAT, the distress-signal backpressure, the cross-socket
+// interconnect, prefetcher behaviour — plus parametric models of the
+// paper's four production ML workloads and its antagonists and batch jobs.
+// See DESIGN.md for the substitution rationale and EXPERIMENTS.md for
+// paper-versus-measured results.
+//
+// # Quick start
+//
+//	n := kelp.MustNode(kelp.DefaultNodeConfig())
+//	applied, _ := kelp.Apply(n, kelp.Kelp, kelp.DefaultOptions())
+//	cnn1, _ := kelp.NewCNN1(kelp.NewCloudTPU())
+//	_ = n.AddTask(cnn1, applied.ML)
+//	stream, _ := kelp.NewStream(8)
+//	_ = n.AddTask(stream, applied.Low)
+//	n.Run(3 * kelp.Second)
+//	n.StartMeasurement()
+//	n.Run(2 * kelp.Second)
+//	fmt.Println(cnn1.Throughput(n.Now()), stream.Throughput(n.Now()))
+//
+// The experiments sub-API regenerates every table and figure of the paper's
+// evaluation; see NewHarness and the Figure* functions.
+package kelp
+
+import (
+	"kelp/internal/accel"
+	"kelp/internal/agent"
+	"kelp/internal/cluster"
+	"kelp/internal/core"
+	"kelp/internal/experiments"
+	"kelp/internal/fleet"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/profile"
+	"kelp/internal/resctrlfs"
+	"kelp/internal/sim"
+	"kelp/internal/trace"
+	"kelp/internal/workload"
+)
+
+// Simulated-time units (seconds).
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Node is a simulated server: processor, memory system, cgroups, monitor,
+// tasks, and the engine that drives them.
+type Node = node.Node
+
+// NodeConfig describes a node's hardware and simulation parameters.
+type NodeConfig = node.Config
+
+// DefaultNodeConfig returns the paper-calibrated dual-socket node.
+func DefaultNodeConfig() NodeConfig { return node.DefaultConfig() }
+
+// NewNode builds a node.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// MustNode is NewNode that panics on invalid configuration.
+func MustNode(cfg NodeConfig) *Node { return node.MustNew(cfg) }
+
+// Policy selects one of the paper's four system configurations.
+type Policy = policy.Kind
+
+// The evaluated configurations (paper §V-A), plus the fine-grained
+// hardware memory isolation the paper proposes as future work (§VI-D).
+const (
+	Baseline      = policy.Baseline
+	CoreThrottle  = policy.CoreThrottle
+	KelpSubdomain = policy.KelpSubdomain
+	Kelp          = policy.Kelp
+	FineGrained   = policy.FineGrained
+)
+
+// Options parameterizes policy application.
+type Options = policy.Options
+
+// DefaultOptions returns the evaluation defaults.
+func DefaultOptions() Options { return policy.DefaultOptions() }
+
+// Applied describes a configured node: the cgroups to attach tasks to and
+// the installed controller.
+type Applied = policy.Applied
+
+// Apply configures a node for a policy; call before adding tasks.
+func Apply(n *Node, k Policy, o Options) (*Applied, error) { return policy.Apply(n, k, o) }
+
+// Runtime is the Kelp runtime itself (Algorithms 1 and 2), for callers that
+// want to wire it manually rather than through Apply.
+type Runtime = core.Runtime
+
+// RuntimeConfig parameterizes a manually-constructed Kelp runtime.
+type RuntimeConfig = core.Config
+
+// Watermarks are the per-application profile thresholds.
+type Watermarks = core.Watermarks
+
+// NewRuntime builds a Kelp runtime over an already-placed node.
+func NewRuntime(n *Node, cfg RuntimeConfig) (*Runtime, error) { return core.New(n, cfg) }
+
+// DefaultWatermarks returns conservative thresholds for a controller with
+// the given per-controller bandwidth and base latency.
+func DefaultWatermarks(controllerBW, baseLatency float64) Watermarks {
+	return core.DefaultWatermarks(controllerBW, baseLatency)
+}
+
+// Task is a runnable workload.
+type Task = workload.Task
+
+// Training is a synchronous accelerated training task.
+type Training = workload.Training
+
+// Inference is a pipelined inference server.
+type Inference = workload.Inference
+
+// Loop is an open-ended CPU batch job or antagonist.
+type Loop = workload.Loop
+
+// Platform describes an accelerator device model.
+type Platform = accel.Platform
+
+// Device is one accelerator instance.
+type Device = accel.Device
+
+// Accelerator platforms (paper Table I).
+func NewTPU() Platform      { return accel.NewTPU() }
+func NewCloudTPU() Platform { return accel.NewCloudTPU() }
+func NewGPU() Platform      { return accel.NewGPU() }
+
+// NewDevice returns a device for the platform.
+func NewDevice(p Platform) (*Device, error) { return accel.NewDevice(p) }
+
+// The paper's four production ML workloads.
+var (
+	NewRNN1 = workload.NewRNN1
+	NewCNN1 = workload.NewCNN1
+	NewCNN2 = workload.NewCNN2
+	NewCNN3 = workload.NewCNN3
+)
+
+// The evaluation's batch jobs and synthetic antagonists.
+var (
+	NewStream              = workload.NewStream
+	NewStitch              = workload.NewStitch
+	NewCPUML               = workload.NewCPUML
+	NewDRAMAggressor       = workload.NewDRAMAggressor
+	NewLLCAggressor        = workload.NewLLCAggressor
+	NewRemoteDRAMAggressor = workload.NewRemoteDRAMAggressor
+)
+
+// AggressorLevel is an antagonist aggressiveness level.
+type AggressorLevel = workload.Level
+
+// Antagonist levels (paper Fig. 7).
+const (
+	LevelLow    = workload.LevelLow
+	LevelMedium = workload.LevelMedium
+	LevelHigh   = workload.LevelHigh
+)
+
+// Harness runs the paper's experiments with standalone-normalized results.
+type Harness = experiments.Harness
+
+// NewHarness returns a harness with the evaluation defaults.
+func NewHarness() *Harness { return experiments.NewHarness() }
+
+// Experiment entry points: one per table/figure of the evaluation, the two
+// experiments the paper describes but omits (KneeSweep, RatioSweep), and
+// the §VI future-work estimate (FutureWork).
+var (
+	Table1     = experiments.Table1
+	Figure2    = experiments.Figure2
+	Figure3    = experiments.Figure3
+	Figure5    = experiments.Figure5
+	Figure7    = experiments.Figure7
+	Figure9    = experiments.Figure9
+	Figure10   = experiments.Figure10
+	Figure13   = experiments.Figure13
+	Figure14   = experiments.Figure14
+	Figure15   = experiments.Figure15
+	Figure16   = experiments.Figure16
+	KneeSweep  = experiments.KneeSweep
+	RatioSweep = experiments.RatioSweep
+	FutureWork = experiments.FutureWork
+)
+
+// FleetConfig parameterizes the fleet bandwidth census (Fig. 2).
+type FleetConfig = fleet.Config
+
+// DefaultFleetConfig profiles a 10,000-machine synthetic fleet.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// TraceConfig parameterizes the execution-timeline trace (Fig. 3).
+type TraceConfig = trace.Config
+
+// DefaultTraceConfig traces serial RNN1 requests against a heavy antagonist.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// ClusterConfig parameterizes distributed lock-step training (Fig. 1
+// workflow; tail-at-scale amplification).
+type ClusterConfig = cluster.Config
+
+// RunCluster simulates a distributed training cluster.
+func RunCluster(cfg ClusterConfig) (*cluster.Result, error) { return cluster.Run(cfg) }
+
+// Agent is the Borglet-style node-level scheduler integration (§IV-D):
+// task admission with priorities, profile loading, policy application and
+// placement.
+type Agent = agent.Agent
+
+// AgentConfig parameterizes an agent.
+type AgentConfig = agent.Config
+
+// NewAgent builds a managed node.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return agent.New(cfg) }
+
+// Profile is a per-application QoS profile (watermarks, bounds, control
+// period) in the machine-portable JSON format a cluster scheduler ships.
+type Profile = profile.Profile
+
+// ProfileRegistry caches profiles on the node.
+type ProfileRegistry = profile.Registry
+
+// DefaultProfile returns the conservative profile used when the scheduler
+// shipped none.
+func DefaultProfile(name string) Profile { return profile.Default(name) }
+
+// NewProfileRegistry returns an empty profile cache.
+func NewProfileRegistry() *ProfileRegistry { return profile.NewRegistry() }
+
+// LoadProfile reads a profile from a JSON file.
+func LoadProfile(path string) (Profile, error) { return profile.Load(path) }
+
+// SaveProfile writes a profile to a JSON file.
+func SaveProfile(path string, p Profile) error { return profile.Save(path, p) }
+
+// ControlFS is the sysfs-style textual control surface over a node:
+// cgroup cpusets and NUMA policies, resctrl CAT schemata, prefetcher
+// counts, and performance counters, with Linux value formats.
+type ControlFS = resctrlfs.FS
+
+// NewControlFS binds a control file tree to a node.
+func NewControlFS(n *Node) (*ControlFS, error) { return resctrlfs.New(n) }
