@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	kelpbench [-exp all|table1|fig2|fig3|fig5|fig7|fig9|fig10|fig13|fig14|fig15|fig16] [-quick]
+//	kelpbench [-exp all|table1|fig2|fig3|fig5|fig7|fig9|fig10|fig13|fig14|fig15|fig16] [-quick] [-parallel N]
 //
 // -quick shortens warmup/measure windows for a fast smoke run; the shapes
 // hold but averages are noisier.
+//
+// -parallel bounds how many scenario cells run concurrently (default: one
+// per available CPU; 1 recovers the serial sweep). Every cell owns a fresh
+// node with its own seeded RNG streams and results are collected in input
+// order, so output is identical at any setting.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma-separated), or 'all'")
 	quick := flag.Bool("quick", false, "short windows for a smoke run")
 	outdir := flag.String("outdir", "", "also write each table as CSV into this directory")
+	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *outdir != "" {
@@ -43,6 +49,7 @@ func main() {
 	}
 
 	h := experiments.NewHarness()
+	h.Parallel = *parallel
 	if *quick {
 		h.Warmup = 1 * sim.Second
 		h.Measure = 1 * sim.Second

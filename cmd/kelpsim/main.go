@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5]
+//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5] [-parallel N]
 package main
 
 import (
@@ -53,6 +53,7 @@ func main() {
 	duration := flag.Float64("duration", 5, "total simulated seconds (warmup+measure)")
 	scenarioPath := flag.String("scenario", "", "JSON scenario file (overrides -ml/-cpu/-policy)")
 	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
+	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -68,6 +69,7 @@ func main() {
 		err  error
 	)
 	h := experiments.NewHarness()
+	h.Parallel = *parallel
 
 	if *scenarioPath != "" {
 		spec, err := scenario.Load(*scenarioPath)

@@ -225,8 +225,12 @@ func New(n *node.Node, cfg Config) (*Runtime, error) {
 // Config returns the runtime configuration.
 func (r *Runtime) Config() Config { return r.cfg }
 
-// History returns per-period decisions (do not mutate).
-func (r *Runtime) History() []Decision { return r.history }
+// History returns a copy of the per-period decision trace; callers may
+// append to or mutate it freely without corrupting the actuator record
+// behind the Fig. 11/12 case studies.
+func (r *Runtime) History() []Decision {
+	return append([]Decision(nil), r.history...)
+}
 
 // BackfillCores returns the currently granted backfill core count.
 func (r *Runtime) BackfillCores() int { return r.backfillCores }
@@ -333,10 +337,9 @@ func (r *Runtime) configLoPriority(a Action) {
 		if r.lowPrefetchers < r.lowCores {
 			r.lowPrefetchers++
 		} else if r.lowCores < r.cfg.MaxLowCores {
+			// Growing lowCores keeps lowPrefetchers <= lowCores, so no
+			// clamp is needed on this branch.
 			r.lowCores++
-			if r.lowPrefetchers > r.lowCores {
-				r.lowPrefetchers = r.lowCores
-			}
 		}
 	}
 	if r.lowPrefetchers > r.lowCores {

@@ -243,6 +243,66 @@ func TestConfigLoPriorityBoostRestoresPrefetchersThenCores(t *testing.T) {
 	}
 }
 
+// TestConfigLoPriorityLadder pins Algorithm 2's throttle/boost ladder,
+// state by state: prefetchers halve before cores are revoked, prefetchers
+// restore before cores are returned, and both directions respect their
+// bounds.
+func TestConfigLoPriorityLadder(t *testing.T) {
+	cases := []struct {
+		name              string
+		pf, cores         int
+		a                 Action
+		wantPF, wantCores int
+	}{
+		{"throttle halves prefetchers first", 14, 14, Throttle, 7, 14},
+		{"throttle keeps halving", 7, 14, Throttle, 3, 14},
+		{"throttle halving reaches zero", 1, 14, Throttle, 0, 14},
+		{"throttle revokes cores only after prefetchers", 0, 14, Throttle, 0, 13},
+		{"throttle respects the core floor", 0, 2, Throttle, 0, 2},
+		{"boost restores prefetchers before cores", 0, 12, Boost, 1, 12},
+		{"boost keeps restoring prefetchers", 5, 12, Boost, 6, 12},
+		{"boost returns cores once prefetchers caught up", 12, 12, Boost, 12, 13},
+		{"boost respects the core ceiling", 14, 14, Boost, 14, 14},
+		{"nop leaves the actuators alone", 5, 9, NOP, 5, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := testNode(t)
+			r, err := New(n, testConfig(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.lowPrefetchers, r.lowCores = c.pf, c.cores
+			r.configLoPriority(c.a)
+			if r.LowPrefetchers() != c.wantPF || r.LowCores() != c.wantCores {
+				t.Errorf("%s from %d pf / %d cores: got %d pf / %d cores, want %d / %d",
+					c.a, c.pf, c.cores, r.LowPrefetchers(), r.LowCores(), c.wantPF, c.wantCores)
+			}
+		})
+	}
+}
+
+// TestHistoryReturnsCopy guards the actuator trace behind the Fig. 11/12
+// case studies: callers mutating or appending to the returned slice must
+// not corrupt the runtime's record.
+func TestHistoryReturnsCopy(t *testing.T) {
+	n := testNode(t)
+	r, err := New(n, testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.history = append(r.history, Decision{Time: 1}, Decision{Time: 2})
+
+	got := r.History()
+	got[0].Time = 99
+	_ = append(got, Decision{Time: 3})
+
+	again := r.History()
+	if len(again) != 2 || again[0].Time != 1 || again[1].Time != 2 {
+		t.Errorf("internal history corrupted through History(): %+v", again)
+	}
+}
+
 func TestConfigHiPriorityBounds(t *testing.T) {
 	n := testNode(t)
 	r, _ := New(n, testConfig(n))

@@ -34,23 +34,33 @@ type BackpressureRow struct {
 // leave the ML task slightly faster than standalone thanks to SNC's lower
 // local latency.
 func Figure7(h *Harness) ([]BackpressureRow, error) {
-	var rows []BackpressureRow
+	type cell struct {
+		ml     MLKind
+		lvl    workload.Level
+		offPct int
+	}
+	var cells []cell
 	for _, ml := range []MLKind{RNN1, CNN1, CNN2} {
-		base, err := h.Standalone(ml)
-		if err != nil {
-			return nil, err
-		}
 		for _, lvl := range workload.Levels() {
 			for _, offPct := range []int{0, 25, 50, 75, 100} {
-				row, err := backpressureCell(h, ml, lvl, offPct, base)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, *row)
+				cells = append(cells, cell{ml, lvl, offPct})
 			}
 		}
 	}
-	return rows, nil
+	return Collect(h.workers(), len(cells), func(i int) (BackpressureRow, error) {
+		c := cells[i]
+		// The singleflight cache makes concurrent baseline requests for the
+		// same workload collapse into one run.
+		base, err := h.Standalone(c.ml)
+		if err != nil {
+			return BackpressureRow{}, err
+		}
+		row, err := backpressureCell(h, c.ml, c.lvl, c.offPct, base)
+		if err != nil {
+			return BackpressureRow{}, err
+		}
+		return *row, nil
+	})
 }
 
 // backpressureCell runs one (workload, level, prefetcher) configuration.

@@ -32,34 +32,41 @@ type CaseStudyRow struct {
 // policies (the paper's first case study: a highly BW-sensitive ML task
 // against an aggressive antagonist).
 func Figure9(h *Harness) ([]CaseStudyRow, error) {
-	var rows []CaseStudyRow
-	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+	return caseStudyGrid(h, CNN1, []int{1, 2, 3, 4, 5, 6}, func(n int) []CPUSpec {
+		return StitchSweep(n)
+	})
+}
+
+// caseStudyGrid fans one case-study sweep (load x policy) across the
+// worker pool, rows in serial iteration order.
+func caseStudyGrid(h *Harness, ml MLKind, loads []int, mixFor func(load int) []CPUSpec) ([]CaseStudyRow, error) {
+	type cell struct {
+		load int
+		k    policy.Kind
+	}
+	var cells []cell
+	for _, load := range loads {
 		for _, k := range policy.Kinds() {
-			r, err := h.RunNormalized(CNN1, StitchSweep(n), k)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, caseRow(CNN1, n, k, r))
+			cells = append(cells, cell{load, k})
 		}
 	}
-	return rows, nil
+	return Collect(h.workers(), len(cells), func(i int) (CaseStudyRow, error) {
+		c := cells[i]
+		r, err := h.RunNormalized(ml, mixFor(c.load), c.k)
+		if err != nil {
+			return CaseStudyRow{}, err
+		}
+		return caseRow(ml, c.load, c.k, r), nil
+	})
 }
 
 // Figure10 sweeps RNN1 + CPUML across 2..16 threads under all four
 // policies (the second case study: a latency-sensitive server against a
 // milder antagonist).
 func Figure10(h *Harness) ([]CaseStudyRow, error) {
-	var rows []CaseStudyRow
-	for _, t := range []int{2, 4, 6, 8, 10, 12, 14, 16} {
-		for _, k := range policy.Kinds() {
-			r, err := h.RunNormalized(RNN1, CPUMLSweep(t), k)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, caseRow(RNN1, t, k, r))
-		}
-	}
-	return rows, nil
+	return caseStudyGrid(h, RNN1, []int{2, 4, 6, 8, 10, 12, 14, 16}, func(t int) []CPUSpec {
+		return CPUMLSweep(t)
+	})
 }
 
 func caseRow(ml MLKind, load int, k policy.Kind, r *NormResult) CaseStudyRow {

@@ -13,38 +13,7 @@ import (
 // no latency penalty at high bandwidth) while exceeding CoreThrottle's and
 // Kelp's CPU throughput (full-socket bandwidth remains usable).
 func FutureWork(h *Harness) ([]OverallRow, error) {
-	var rows []OverallRow
-	for _, ml := range MLKinds() {
-		for _, cpuKind := range BatchKinds() {
-			mix, err := MixFor(cpuKind)
-			if err != nil {
-				return nil, err
-			}
-			var blCPU float64
-			for _, k := range policy.AllKinds() {
-				r, err := h.RunNormalized(ml, mix, k)
-				if err != nil {
-					return nil, err
-				}
-				if k == policy.Baseline {
-					blCPU = r.CPUUnits
-				}
-				row := OverallRow{
-					ML: ml, CPU: cpuKind, Policy: k,
-					MLPerf:   r.MLPerf,
-					CPUUnits: r.CPUUnits,
-				}
-				if r.MLPerf > 0 {
-					row.MLSlowdown = 1 / r.MLPerf
-				}
-				if r.CPUUnits > 0 && blCPU > 0 {
-					row.CPUSlowdown = blCPU / r.CPUUnits
-				}
-				rows = append(rows, row)
-			}
-		}
-	}
-	return rows, nil
+	return overallGrid(h, policy.AllKinds())
 }
 
 // SummarizeAll aggregates rows for every configuration present, including

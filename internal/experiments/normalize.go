@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"kelp/internal/node"
 	"kelp/internal/policy"
@@ -11,6 +12,10 @@ import (
 // Harness runs scenarios against a fixed node configuration and caches
 // standalone baselines for normalization, as the paper normalizes every
 // result to the accelerated task's standalone performance (§V-A).
+//
+// A Harness is safe for concurrent use by the parallel sweep engine
+// (runner.go) provided its exported fields are not mutated while sweeps
+// are in flight: configure it first, then run.
 type Harness struct {
 	// Node is the hardware configuration shared by every run.
 	Node node.Config
@@ -18,8 +23,24 @@ type Harness struct {
 	Opts policy.Options
 	// Warmup and Measure bound each run.
 	Warmup, Measure sim.Duration
+	// Parallel bounds how many scenario cells the Figure*/sweep functions
+	// evaluate concurrently. 0 selects DefaultParallelism; 1 recovers the
+	// historical serial behaviour. Output is identical either way: every
+	// cell owns a freshly built node with its own seeded RNG streams, and
+	// results are collected in input order.
+	Parallel int
 
-	standalone map[MLKind]*Result
+	mu         sync.Mutex
+	standalone map[MLKind]*baselineEntry
+}
+
+// baselineEntry is one singleflight slot of the standalone cache: the
+// first goroutine to claim a workload computes its baseline inside once;
+// any concurrent caller blocks on the same once and shares the result.
+type baselineEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
 }
 
 // NewHarness returns a harness with the evaluation defaults: 3 s of warmup
@@ -30,31 +51,52 @@ func NewHarness() *Harness {
 		Opts:       policy.DefaultOptions(),
 		Warmup:     3 * sim.Second,
 		Measure:    2 * sim.Second,
-		standalone: make(map[MLKind]*Result),
+		standalone: make(map[MLKind]*baselineEntry),
 	}
 }
 
+// workers resolves the harness's configured parallelism.
+func (h *Harness) workers() int {
+	if h.Parallel > 0 {
+		return h.Parallel
+	}
+	return DefaultParallelism()
+}
+
 // Standalone returns the ML task's uncontended run (Baseline placement, no
-// colocated tasks), cached per workload.
+// colocated tasks), cached per workload. Concurrent callers requesting the
+// same workload share one computation: exactly one goroutine runs the
+// baseline scenario while the others block until it lands.
 func (h *Harness) Standalone(m MLKind) (*Result, error) {
-	if r, ok := h.standalone[m]; ok {
-		return r, nil
+	h.mu.Lock()
+	if h.standalone == nil {
+		h.standalone = make(map[MLKind]*baselineEntry)
 	}
-	opts := h.Opts
-	opts.MLCores = m.MLCores()
-	r, err := Run(Scenario{
-		ML:      m,
-		Policy:  policy.Baseline,
-		Opts:    opts,
-		Node:    h.Node,
-		Warmup:  h.Warmup,
-		Measure: h.Measure,
+	e, ok := h.standalone[m]
+	if !ok {
+		e = &baselineEntry{}
+		h.standalone[m] = e
+	}
+	h.mu.Unlock()
+
+	e.once.Do(func() {
+		opts := h.Opts
+		opts.MLCores = m.MLCores()
+		r, err := Run(Scenario{
+			ML:      m,
+			Policy:  policy.Baseline,
+			Opts:    opts,
+			Node:    h.Node,
+			Warmup:  h.Warmup,
+			Measure: h.Measure,
+		})
+		if err != nil {
+			e.err = fmt.Errorf("standalone %s: %w", m, err)
+			return
+		}
+		e.res = r
 	})
-	if err != nil {
-		return nil, fmt.Errorf("standalone %s: %w", m, err)
-	}
-	h.standalone[m] = r
-	return r, nil
+	return e.res, e.err
 }
 
 // NormResult is a run normalized against the ML task's standalone run.

@@ -37,15 +37,13 @@ func KneeSweep(h *Harness, loads []float64) ([]KneeRow, error) {
 	if len(loads) == 0 {
 		loads = []float64{100, 150, 200, 250, 300, 350, 400, 450}
 	}
-	var rows []KneeRow
-	for _, qps := range loads {
-		row, err := kneeCell(h, qps)
+	return Collect(h.workers(), len(loads), func(i int) (KneeRow, error) {
+		row, err := kneeCell(h, loads[i])
 		if err != nil {
-			return nil, err
+			return KneeRow{}, err
 		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+		return *row, nil
+	})
 }
 
 func kneeCell(h *Harness, offered float64) (*KneeRow, error) {
@@ -135,17 +133,23 @@ type RatioRow struct {
 // is a property of the host phase's memory behaviour, not its length,
 // though workload-level impact scales with host share.
 func RatioSweep(h *Harness) ([]RatioRow, error) {
-	var rows []RatioRow
+	type cell struct {
+		ml    MLKind
+		scale float64
+	}
+	var cells []cell
 	for _, ml := range []MLKind{CNN1, CNN2} {
 		for _, scale := range []float64{0.5, 1.0, 2.0, 4.0} {
-			row, err := ratioCell(h, ml, scale)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, *row)
+			cells = append(cells, cell{ml, scale})
 		}
 	}
-	return rows, nil
+	return Collect(h.workers(), len(cells), func(i int) (RatioRow, error) {
+		row, err := ratioCell(h, cells[i].ml, cells[i].scale)
+		if err != nil {
+			return RatioRow{}, err
+		}
+		return *row, nil
+	})
 }
 
 // scaledTraining builds a CNN1/CNN2 variant with its CPU work scaled.

@@ -26,35 +26,62 @@ type OverallRow struct {
 
 // Figure13 runs all twelve workload mixes under all four policies.
 func Figure13(h *Harness) ([]OverallRow, error) {
-	var rows []OverallRow
+	return overallGrid(h, policy.Kinds())
+}
+
+// overallGrid fans the (ML x batch CPU x policy) grid out across the
+// worker pool and then normalizes each mix's CPU throughput against its
+// Baseline cell. Rows come back in the serial iteration order.
+func overallGrid(h *Harness, kinds []policy.Kind) ([]OverallRow, error) {
+	type cell struct {
+		ml  MLKind
+		cpu CPUKind
+		mix []CPUSpec
+		k   policy.Kind
+	}
+	var cells []cell
 	for _, ml := range MLKinds() {
 		for _, cpuKind := range BatchKinds() {
 			mix, err := MixFor(cpuKind)
 			if err != nil {
 				return nil, err
 			}
-			// Baseline first: its CPU throughput normalizes the others.
-			var blCPU float64
-			for _, k := range policy.Kinds() {
-				r, err := h.RunNormalized(ml, mix, k)
-				if err != nil {
-					return nil, err
-				}
-				if k == policy.Baseline {
-					blCPU = r.CPUUnits
-				}
-				row := OverallRow{
-					ML: ml, CPU: cpuKind, Policy: k,
-					MLPerf:   r.MLPerf,
-					CPUUnits: r.CPUUnits,
-				}
-				if r.MLPerf > 0 {
-					row.MLSlowdown = 1 / r.MLPerf
-				}
-				if r.CPUUnits > 0 && blCPU > 0 {
-					row.CPUSlowdown = blCPU / r.CPUUnits
-				}
-				rows = append(rows, row)
+			for _, k := range kinds {
+				cells = append(cells, cell{ml, cpuKind, mix, k})
+			}
+		}
+	}
+	rows, err := Collect(h.workers(), len(cells), func(i int) (OverallRow, error) {
+		c := cells[i]
+		r, err := h.RunNormalized(c.ml, c.mix, c.k)
+		if err != nil {
+			return OverallRow{}, err
+		}
+		row := OverallRow{
+			ML: c.ml, CPU: c.cpu, Policy: c.k,
+			MLPerf:   r.MLPerf,
+			CPUUnits: r.CPUUnits,
+		}
+		if r.MLPerf > 0 {
+			row.MLSlowdown = 1 / r.MLPerf
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each mix occupies len(kinds) consecutive rows; its Baseline cell's
+	// CPU throughput normalizes the others.
+	for g := 0; g+len(kinds) <= len(rows); g += len(kinds) {
+		var blCPU float64
+		for _, r := range rows[g : g+len(kinds)] {
+			if r.Policy == policy.Baseline {
+				blCPU = r.CPUUnits
+			}
+		}
+		for i := g; i < g+len(kinds); i++ {
+			if rows[i].CPUUnits > 0 && blCPU > 0 {
+				rows[i].CPUSlowdown = blCPU / rows[i].CPUUnits
 			}
 		}
 	}
@@ -167,7 +194,7 @@ func OverallTable(rows []OverallRow) *Table {
 		t.AddRow(fmt.Sprintf("%s+%s", r.ML, r.CPU), r.Policy, r.MLSlowdown, r.CPUSlowdown)
 	}
 	for _, s := range Summarize(rows) {
-		t.AddRow("Average", s.Policy, s.MeanMLSlowdown, 1/safe(s.MeanCPUThroughput))
+		t.AddRow("Average", s.Policy, s.MeanMLSlowdown, inverseSlowdown(s.MeanCPUThroughput))
 	}
 	return t
 }
@@ -188,9 +215,13 @@ func EfficiencyTable(rows []EfficiencyRow) *Table {
 	return t
 }
 
-func safe(v float64) float64 {
+// inverseSlowdown renders a mean throughput ratio as a slowdown. A zero
+// ratio means no surviving CPU throughput — an unbounded slowdown — so it
+// renders as "n/a" rather than the "no slowdown" a literal 1/0->1 fallback
+// would print.
+func inverseSlowdown(v float64) interface{} {
 	if v == 0 {
-		return 1
+		return "n/a"
 	}
-	return v
+	return 1 / v
 }

@@ -27,20 +27,27 @@ type RemoteSweepRow struct {
 // Cross-socket traffic — in either direction — costs more than local
 // contention on the Cloud TPU platform, so mixed placements are worst.
 func Figure16(h *Harness) ([]RemoteSweepRow, error) {
-	var rows []RemoteSweepRow
+	type cell struct {
+		ml              MLKind
+		dataL, threadsL int
+	}
+	var cells []cell
 	grid := []int{0, 25, 50, 100}
 	for _, ml := range []MLKind{CNN1, CNN2} {
 		for _, dataLocal := range grid {
 			for _, threadsLocal := range grid {
-				r, err := remoteCell(h, ml, dataLocal, threadsLocal)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, *r)
+				cells = append(cells, cell{ml, dataLocal, threadsLocal})
 			}
 		}
 	}
-	return rows, nil
+	return Collect(h.workers(), len(cells), func(i int) (RemoteSweepRow, error) {
+		c := cells[i]
+		r, err := remoteCell(h, c.ml, c.dataL, c.threadsL)
+		if err != nil {
+			return RemoteSweepRow{}, err
+		}
+		return *r, nil
+	})
 }
 
 // remoteCell runs one (data%, threads%) configuration: the antagonist is

@@ -53,6 +53,27 @@ func TestBackpressureTableRendering(t *testing.T) {
 	}
 }
 
+// TestOverallTableZeroCPUThroughputRendersNA guards the summary row: a
+// zero harmonic-mean CPU throughput means no surviving CPU throughput, and
+// must render as "n/a", not as the 1.000 ("no slowdown") the old 1/safe(0)
+// fallback printed.
+func TestOverallTableZeroCPUThroughputRendersNA(t *testing.T) {
+	rows := []OverallRow{
+		// Baseline keeps CPU throughput; Kelp's collapses to zero.
+		{ML: CNN1, CPU: Stream, Policy: policy.Baseline, MLSlowdown: 1.5, CPUSlowdown: 2.0},
+		{ML: CNN1, CPU: Stream, Policy: policy.Kelp, MLSlowdown: 1.0, CPUSlowdown: 0},
+	}
+	s := OverallTable(rows).String()
+	if !strings.Contains(s, "n/a") {
+		t.Errorf("zero CPU throughput should render n/a:\n%s", s)
+	}
+	// The non-degenerate policy's average still renders numerically:
+	// Baseline's harmonic-mean throughput is 1/2.0, so its slowdown is 2.
+	if !strings.Contains(s, "2.000") {
+		t.Errorf("numeric average slowdown missing:\n%s", s)
+	}
+}
+
 func TestFutureWorkTableRendering(t *testing.T) {
 	rows := []OverallRow{
 		{ML: CNN1, CPU: Stream, Policy: policy.FineGrained, MLSlowdown: 1.0, CPUSlowdown: 1.1},

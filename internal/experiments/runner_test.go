@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kelp/internal/sim"
+)
+
+func TestCollectOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Collect(workers, 33, func(i int) (int, error) {
+			// Finish out of order on purpose.
+			time.Sleep(time.Duration(33-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 33 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	got, err := Collect(4, 0, func(i int) (int, error) {
+		t.Error("cell called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Errorf("Collect(_, 0) = %v, %v", got, err)
+	}
+}
+
+func TestCollectReturnsLowestIndexedError(t *testing.T) {
+	boom2 := errors.New("cell 2")
+	boom5 := errors.New("cell 5")
+	for _, workers := range []int{1, 4} {
+		_, err := Collect(workers, 8, func(i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, boom2
+			case 5:
+				return 0, boom5
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom2) {
+			t.Errorf("workers=%d: err = %v, want the lowest-indexed error", workers, err)
+		}
+	}
+}
+
+func TestCollectBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	_, err := Collect(workers, 48, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("observed %d concurrent cells, pool bounds %d", got, workers)
+	}
+}
+
+// TestStandaloneSingleflight hammers the baseline cache from many
+// goroutines: every caller must get the same cached *Result, i.e. one
+// computation served to all.
+func TestStandaloneSingleflight(t *testing.T) {
+	h := NewHarness()
+	h.Warmup = 200 * sim.Millisecond
+	h.Measure = 200 * sim.Millisecond
+
+	const callers = 12
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			r, err := h.Standalone(CNN3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[c] = r
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if results[c] != results[0] {
+			t.Fatalf("caller %d got a different baseline pointer", c)
+		}
+	}
+	if results[0] == nil || results[0].MLThroughput <= 0 {
+		t.Fatalf("baseline = %+v", results[0])
+	}
+}
+
+func TestStandaloneZeroValueHarness(t *testing.T) {
+	// A zero-value Harness (nil cache map) must still lazily initialize.
+	h := &Harness{
+		Node:    NewHarness().Node,
+		Opts:    NewHarness().Opts,
+		Warmup:  100 * sim.Millisecond,
+		Measure: 100 * sim.Millisecond,
+	}
+	if _, err := h.Standalone(RNN1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure13ParallelMatchesSerial is the determinism gate: the pooled
+// sweep must be element-for-element identical to the serial run, because
+// every cell owns a freshly seeded node and rows are collected in input
+// order.
+func TestFigure13ParallelMatchesSerial(t *testing.T) {
+	mk := func(parallel int) []OverallRow {
+		h := NewHarness()
+		h.Parallel = parallel
+		h.Warmup = 300 * sim.Millisecond
+		h.Measure = 200 * sim.Millisecond
+		rows, err := Figure13(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("row %d differs:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestSensitivityParallelMatchesSerial covers the same property on a
+// standalone-normalized sweep, where the singleflight baseline cache is in
+// the concurrent path.
+func TestSensitivityParallelMatchesSerial(t *testing.T) {
+	mk := func(parallel int) []SensitivityRow {
+		h := NewHarness()
+		h.Parallel = parallel
+		h.Warmup = 300 * sim.Millisecond
+		h.Measure = 200 * sim.Millisecond
+		rows, err := Figure5(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if s, p := mk(1), mk(8); !reflect.DeepEqual(s, p) {
+		t.Errorf("serial and parallel Figure 5 differ:\n%+v\n%+v", s, p)
+	}
+}

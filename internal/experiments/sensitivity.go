@@ -40,22 +40,29 @@ func Figure15(h *Harness) ([]SensitivityRow, error) {
 }
 
 func sensitivity(h *Harness, aggressors []CPUSpec) ([]SensitivityRow, error) {
-	var rows []SensitivityRow
+	type cell struct {
+		ml  MLKind
+		agg CPUSpec
+	}
+	var cells []cell
 	for _, ml := range MLKinds() {
 		for _, agg := range aggressors {
-			r, err := h.RunNormalized(ml, []CPUSpec{agg}, policy.Baseline)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SensitivityRow{
-				ML:        ml,
-				Aggressor: agg.Kind,
-				Perf:      r.MLPerf,
-				TailNorm:  r.MLTailNorm,
-			})
+			cells = append(cells, cell{ml, agg})
 		}
 	}
-	return rows, nil
+	return Collect(h.workers(), len(cells), func(i int) (SensitivityRow, error) {
+		c := cells[i]
+		r, err := h.RunNormalized(c.ml, []CPUSpec{c.agg}, policy.Baseline)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		return SensitivityRow{
+			ML:        c.ml,
+			Aggressor: c.agg.Kind,
+			Perf:      r.MLPerf,
+			TailNorm:  r.MLTailNorm,
+		}, nil
+	})
 }
 
 // SensitivityAverages returns mean normalized performance per antagonist

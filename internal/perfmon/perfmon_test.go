@@ -2,6 +2,7 @@ package perfmon
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"kelp/internal/memsys"
@@ -66,6 +67,62 @@ func TestWindowResets(t *testing.T) {
 	s := m.Window()
 	if s.Elapsed != 0 || s.SocketBW[0] != 0 {
 		t.Errorf("second window not reset: %+v", s)
+	}
+}
+
+// TestPeekDoesNotResetWindow pins the observer contract the concurrent
+// metrics scrapers rely on: Peek is repeatable, and a controller's
+// subsequent Window sees the same accumulated interval as if Peek had
+// never happened.
+func TestPeekDoesNotResetWindow(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	sys := memsys.MustSystem(cfg)
+	m := MustMonitor(cfg.Sockets, cfg.ControllersPerSocket)
+	m.Record(1.0, resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: 10 * memsys.GB}}))
+	m.Record(1.0, resolve(t, sys, []memsys.Flow{{Task: "a", Socket: 0, DemandBW: 30 * memsys.GB}}))
+
+	p1 := m.Peek()
+	p2 := m.Peek()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("consecutive Peeks differ:\n%+v\n%+v", p1, p2)
+	}
+	w := m.Window()
+	if !reflect.DeepEqual(p1, w) {
+		t.Errorf("Window after Peek differs from Peek:\n%+v\n%+v", p1, w)
+	}
+	if s := m.Window(); s.Elapsed != 0 {
+		t.Errorf("Window after Window not reset: Elapsed = %v", s.Elapsed)
+	}
+}
+
+// TestZeroElapsedWindowAllZero pins the other scraper-facing invariant: a
+// window with nothing recorded returns fully-shaped, all-zero samples —
+// including the per-controller arrays — rather than partial or NaN values.
+func TestZeroElapsedWindowAllZero(t *testing.T) {
+	const sockets, cps = 2, 2
+	m := MustMonitor(sockets, cps)
+	for name, s := range map[string]Sample{"Peek": m.Peek(), "Window": m.Window()} {
+		if s.Elapsed != 0 {
+			t.Errorf("%s: Elapsed = %v", name, s.Elapsed)
+		}
+		if len(s.SocketBW) != sockets || len(s.ControllerBW) != sockets {
+			t.Fatalf("%s: bad shape %+v", name, s)
+		}
+		for sock := 0; sock < sockets; sock++ {
+			if s.SocketBW[sock] != 0 || s.SocketOfferedBW[sock] != 0 ||
+				s.SocketLatency[sock] != 0 || s.SocketSaturation[sock] != 0 ||
+				s.SocketBackpressure[sock] != 0 {
+				t.Errorf("%s: socket %d not all-zero: %+v", name, sock, s)
+			}
+			if len(s.ControllerBW[sock]) != cps || len(s.ControllerLatency[sock]) != cps {
+				t.Fatalf("%s: controller shape %+v", name, s)
+			}
+			for c := 0; c < cps; c++ {
+				if s.ControllerBW[sock][c] != 0 || s.ControllerLatency[sock][c] != 0 {
+					t.Errorf("%s: controller %d/%d non-zero", name, sock, c)
+				}
+			}
+		}
 	}
 }
 

@@ -57,8 +57,10 @@ func NewMBAController(n *node.Node, cfg MBAControllerConfig) (*MBAController, er
 // Percent returns the current MBA throttle level.
 func (c *MBAController) Percent() int { return c.cur }
 
-// History returns per-period decisions (do not mutate).
-func (c *MBAController) History() []MBADecision { return c.history }
+// History returns a copy of the per-period decision trace.
+func (c *MBAController) History() []MBADecision {
+	return append([]MBADecision(nil), c.history...)
+}
 
 // Control implements sim.Controller.
 func (c *MBAController) Control(now float64) {

@@ -84,8 +84,10 @@ func NewThrottler(n *node.Node, cfg ThrottlerConfig) (*Throttler, error) {
 // Cores returns the currently granted core count.
 func (t *Throttler) Cores() int { return t.cur }
 
-// History returns per-period decisions (do not mutate).
-func (t *Throttler) History() []ThrottlerDecision { return t.history }
+// History returns a copy of the per-period decision trace.
+func (t *Throttler) History() []ThrottlerDecision {
+	return append([]ThrottlerDecision(nil), t.history...)
+}
 
 // Control implements sim.Controller.
 func (t *Throttler) Control(now float64) {
