@@ -12,6 +12,11 @@
 // per available CPU; 1 recovers the serial sweep). Every cell owns a fresh
 // node with its own seeded RNG streams and results are collected in input
 // order, so output is identical at any setting.
+//
+// -events out.jsonl attaches a flight recorder to every colocation run and
+// writes the merged stream as JSON Lines when the sweep finishes. Recording
+// forces -parallel 1 so the stream is deterministic; the tables themselves
+// are identical with or without it. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/fleet"
 	"kelp/internal/sim"
@@ -32,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "short windows for a smoke run")
 	outdir := flag.String("outdir", "", "also write each table as CSV into this directory")
 	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
+	eventsPath := flag.String("events", "", "write flight-recorder events as JSONL (forces -parallel 1)")
 	flag.Parse()
 
 	if *outdir != "" {
@@ -50,6 +57,15 @@ func main() {
 
 	h := experiments.NewHarness()
 	h.Parallel = *parallel
+	if *eventsPath != "" {
+		// A merged stream from concurrent cells would interleave
+		// nondeterministically, so recording forces the serial sweep.
+		if *parallel != 1 {
+			fmt.Fprintln(os.Stderr, "kelpbench: -events forces -parallel 1 for a deterministic stream")
+		}
+		h.Parallel = 1
+		h.Events = events.MustNew(1 << 20)
+	}
 	if *quick {
 		h.Warmup = 1 * sim.Second
 		h.Measure = 1 * sim.Second
@@ -198,5 +214,25 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "kelpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kelpbench:", err)
+			os.Exit(1)
+		}
+		evs := h.Events.Events()
+		if err := events.WriteJSONL(f, evs); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "kelpbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "kelpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("events: %d written to %s (%d dropped by the ring)\n",
+			len(evs), *eventsPath, h.Events.Dropped())
 	}
 }

@@ -1,6 +1,7 @@
 // Command kelpd runs a managed node behind an HTTP API: admission
 // (POST /tasks), simulation control (POST /advance), a Prometheus-style
-// /metrics endpoint, and the sysfs-style control surface under /fs/.
+// /metrics endpoint, the flight-recorder event stream (GET /events), and
+// the sysfs-style control surface under /fs/.
 //
 // Usage:
 //
@@ -12,7 +13,10 @@
 //	curl -XPOST localhost:8080/tasks -d '{"kind":"Stitch"}'
 //	curl -XPOST localhost:8080/advance -d '{"ms":2000}'
 //	curl localhost:8080/metrics
+//	curl 'localhost:8080/events?type=distress.assert&type=kelp.actuate'
 //	curl localhost:8080/fs/cgroup/low/cpuset.cpus
+//
+// See docs/OBSERVABILITY.md for the event taxonomy and a worked session.
 package main
 
 import (

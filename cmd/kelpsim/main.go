@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5] [-parallel N]
+//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5] [-parallel N] [-events out.jsonl]
+//
+// -events writes the colocated run's flight-recorder stream (admissions,
+// controller actuations, distress transitions) as JSON Lines, one event per
+// line; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/policy"
 	"kelp/internal/profile"
@@ -54,6 +59,7 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "JSON scenario file (overrides -ml/-cpu/-policy)")
 	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
 	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
+	eventsPath := flag.String("events", "", "write the colocated run's flight-recorder events as JSONL to this file")
 	flag.Parse()
 
 	die := func(err error) {
@@ -70,6 +76,9 @@ func main() {
 	)
 	h := experiments.NewHarness()
 	h.Parallel = *parallel
+	if *eventsPath != "" {
+		h.Events = events.MustNew(events.DefaultCapacity)
+	}
 
 	if *scenarioPath != "" {
 		spec, err := scenario.Load(*scenarioPath)
@@ -141,5 +150,22 @@ func main() {
 	}
 	if th := r.Raw.Applied.Throttler; th != nil {
 		fmt.Printf("core throttler: cores=%d decisions=%d\n", th.Cores(), len(th.History()))
+	}
+
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			die(err)
+		}
+		evs := h.Events.Events()
+		if err := events.WriteJSONL(f, evs); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("events: %d written to %s (%d dropped by the ring)\n",
+			len(evs), *eventsPath, h.Events.Dropped())
 	}
 }

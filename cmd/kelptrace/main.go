@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	kelptrace [-level H] [-requests 4] [-res 0.2]
+//	kelptrace [-level H] [-requests 4] [-res 0.2] [-policy KP]
+//
+// -policy runs both timelines under an isolation policy (BL, CT, KP-SD, KP,
+// HW-FG, MBA) with a flight recorder attached, and renders the colocated
+// timeline merged with the recorded controller actuations and distress
+// spans; without it the figure's original unmanaged placement is traced.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"strings"
 
 	"kelp/internal/experiments"
+	"kelp/internal/scenario"
 	"kelp/internal/trace"
 	"kelp/internal/workload"
 )
@@ -21,6 +27,7 @@ func main() {
 	level := flag.String("level", "H", "aggressor level: L, M, H")
 	requests := flag.Int("requests", 4, "requests to trace")
 	res := flag.Float64("res", 0.2, "timeline resolution, ms per character")
+	polFlag := flag.String("policy", "", "isolation policy (BL, CT, KP-SD, KP, HW-FG, MBA); empty traces unmanaged")
 	flag.Parse()
 
 	cfg := trace.DefaultConfig()
@@ -36,6 +43,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kelptrace: unknown level %q\n", *level)
 		os.Exit(2)
 	}
+	if *polFlag != "" {
+		pol, err := scenario.ParsePolicy(*polFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kelptrace:", err)
+			os.Exit(2)
+		}
+		cfg.Policy = &pol
+	}
 
 	r, err := trace.Run(cfg)
 	if err != nil {
@@ -45,5 +60,10 @@ func main() {
 	fmt.Println(experiments.Figure3Table(r))
 	fmt.Println("C = CPU assist, A = accelerator, - = PCIe transfer, . = idle")
 	fmt.Println("standalone:", r.Standalone.Render(*res*1e-3))
-	fmt.Println("colocated :", r.Colocated.Render(*res*1e-3))
+	if cfg.Policy == nil {
+		fmt.Println("colocated :", r.Colocated.Render(*res*1e-3))
+		return
+	}
+	fmt.Printf("colocated under %s (T = throttle, B = boost, . = nop, # = distress asserted):\n", *cfg.Policy)
+	fmt.Println(r.Colocated.RenderWithEvents(*res*1e-3, r.Events))
 }

@@ -6,11 +6,17 @@
 // chosen isolation policy, and places low-priority tasks — preferring the
 // low-priority subdomain, backfilling the rest, exactly the paper's
 // placement rule.
+//
+// Every agent attaches a flight recorder (internal/events) to its node, so
+// admission decisions, controller actuations and memory-fabric distress
+// transitions are captured from the first tick; kelpd serves the stream at
+// GET /events.
 package agent
 
 import (
 	"fmt"
 
+	"kelp/internal/events"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/profile"
@@ -29,6 +35,9 @@ type Config struct {
 	Options policy.Options
 	// Profiles supplies per-application watermarks; nil uses defaults.
 	Profiles *profile.Registry
+	// EventCapacity sizes the flight recorder's ring buffer; 0 selects
+	// events.DefaultCapacity.
+	EventCapacity int
 }
 
 // Agent manages one node.
@@ -51,11 +60,36 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Profiles == nil {
 		cfg.Profiles = profile.NewRegistry()
 	}
+	capacity := cfg.EventCapacity
+	if capacity == 0 {
+		capacity = events.DefaultCapacity
+	}
+	rec, err := events.New(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	n.SetEvents(rec)
 	return &Agent{cfg: cfg, n: n}, nil
 }
 
 // Node exposes the managed node.
 func (a *Agent) Node() *node.Node { return a.n }
+
+// Events returns the node's flight recorder.
+func (a *Agent) Events() *events.Recorder { return a.n.Events() }
+
+// emit records one agent-sourced event at the current simulated time.
+func (a *Agent) emit(t events.Type, fields map[string]any) {
+	a.n.Events().Emit(float64(a.n.Now()), t, "agent", fields)
+}
+
+// reject emits an agent.reject event and returns err unchanged.
+func (a *Agent) reject(task string, ml bool, err error) error {
+	a.emit(events.AgentReject, map[string]any{
+		"task": task, "ml": ml, "reason": err.Error(),
+	})
+	return err
+}
 
 // Applied returns the policy application, or nil before ML admission.
 func (a *Agent) Applied() *policy.Applied { return a.applied }
@@ -65,13 +99,14 @@ func (a *Agent) Applied() *policy.Applied { return a.applied }
 // per the paper's usage model (§II-A).
 func (a *Agent) AdmitML(t workload.Task, cores int) error {
 	if t == nil {
-		return fmt.Errorf("agent: nil task")
+		return a.reject("", true, fmt.Errorf("agent: nil task"))
 	}
 	if a.mlName != "" {
-		return fmt.Errorf("agent: accelerated task %q already admitted (exclusive per node, §II-A)", a.mlName)
+		return a.reject(t.Name(), true,
+			fmt.Errorf("agent: accelerated task %q already admitted (exclusive per node, §II-A)", a.mlName))
 	}
 	if cores < 1 {
-		return fmt.Errorf("agent: cores = %d", cores)
+		return a.reject(t.Name(), true, fmt.Errorf("agent: cores = %d", cores))
 	}
 
 	prof := a.cfg.Profiles.Get(t.Name())
@@ -94,13 +129,16 @@ func (a *Agent) AdmitML(t workload.Task, cores int) error {
 
 	applied, err := policy.Apply(a.n, a.cfg.Policy, opts)
 	if err != nil {
-		return err
+		return a.reject(t.Name(), true, err)
 	}
 	if err := a.n.AddTask(t, applied.ML); err != nil {
-		return err
+		return a.reject(t.Name(), true, err)
 	}
 	a.applied = applied
 	a.mlName = t.Name()
+	a.emit(events.AgentAdmit, map[string]any{
+		"task": t.Name(), "group": applied.ML, "ml": true, "cores": cores,
+	})
 	return nil
 }
 
@@ -110,17 +148,23 @@ func (a *Agent) AdmitML(t workload.Task, cores int) error {
 // instead, where the runtime grows its cores only when the system is calm.
 func (a *Agent) AdmitBatch(t workload.Task) error {
 	if t == nil {
-		return fmt.Errorf("agent: nil task")
+		return a.reject("", false, fmt.Errorf("agent: nil task"))
 	}
 	if a.applied == nil {
-		return fmt.Errorf("agent: admit the accelerated task first")
+		return a.reject(t.Name(), false, fmt.Errorf("agent: admit the accelerated task first"))
 	}
 	group := a.applied.Low
 	a.batchSeq++
 	if a.applied.Backfill != "" && a.batchSeq%4 == 0 {
 		group = a.applied.Backfill
 	}
-	return a.n.AddTask(t, group)
+	if err := a.n.AddTask(t, group); err != nil {
+		return a.reject(t.Name(), false, err)
+	}
+	a.emit(events.AgentAdmit, map[string]any{
+		"task": t.Name(), "group": group, "ml": false,
+	})
+	return nil
 }
 
 // Evict removes a task by name. Evicting the accelerated task frees the
@@ -132,6 +176,7 @@ func (a *Agent) Evict(name string) error {
 	if name == a.mlName {
 		a.mlName = ""
 	}
+	a.emit(events.AgentEvict, map[string]any{"task": name})
 	return nil
 }
 

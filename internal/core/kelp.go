@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"kelp/internal/cpu"
+	"kelp/internal/events"
 	"kelp/internal/node"
 	"kelp/internal/perfmon"
 )
@@ -258,6 +259,19 @@ func (r *Runtime) Control(now float64) {
 	d.LowCores = r.lowCores
 	d.LowPrefetchers = r.lowPrefetchers
 	r.history = append(r.history, d)
+	if rec := r.n.Events(); rec != nil {
+		rec.Emit(now, events.KelpActuate, "kelp", map[string]any{
+			"action_high":     d.ActionHigh.String(),
+			"action_low":      d.ActionLow.String(),
+			"socket_bw":       d.SocketBW,
+			"socket_latency":  d.SocketLatency,
+			"saturation":      d.Saturation,
+			"hipri_bw":        d.HiPriorityBW,
+			"low_cores":       d.LowCores,
+			"low_prefetchers": d.LowPrefetchers,
+			"backfill_cores":  d.BackfillCores,
+		})
+	}
 }
 
 // decide evaluates Algorithm 1's watermark comparisons.

@@ -1,0 +1,274 @@
+// Package events is the node's flight recorder: a low-overhead,
+// fixed-capacity ring buffer of structured, simulated-timestamped events
+// describing every decision the system makes — distress signal transitions
+// in the memory fabric, controller actuations with their observed inputs,
+// and admission decisions at the agent.
+//
+// The recorder is passive: emitting an event never feeds back into the
+// simulation, so a run with a recorder attached is byte-identical to a run
+// without one. Because the simulation is single-clocked and deterministic,
+// the event log is fully deterministic too: same seed, same session, same
+// events in the same order with the same sequence numbers.
+//
+// Emitters hold a *Recorder and call Emit; a nil *Recorder is a valid no-op
+// target, so instrumented code needs no nil checks. Consumers either poll
+// with Since (the kelpd GET /events endpoint does exactly this) or attach a
+// Sink for synchronous, per-type-filtered delivery (the -events JSONL flag
+// of kelpbench/kelpsim).
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Type names one kind of event. The taxonomy is documented in
+// docs/OBSERVABILITY.md; every type emitted by the tree is listed here.
+type Type string
+
+// The event taxonomy. Sources are the emitting layers: "memsys" (the
+// memory fabric), "kelp" / "throttler" / "mba" (the policy controllers),
+// and "agent" (admission).
+const (
+	// DistressAssert fires when a memory controller's utilization first
+	// exceeds the distress threshold and the FAST_ASSERTED signal begins
+	// pulsing. Fields: socket, controller, utilization, distress, threshold.
+	DistressAssert Type = "distress.assert"
+	// DistressDeassert fires when the controller's utilization falls back
+	// to or below the threshold and the signal goes quiet. Same fields.
+	DistressDeassert Type = "distress.deassert"
+	// SaturationCross fires when a controller's offered load crosses 100%
+	// of capacity in either direction — the point where grants start (or
+	// stop) being rationed. Fields: socket, controller, utilization, above.
+	SaturationCross Type = "saturation.cross"
+	// KelpActuate is one Kelp runtime control period: Algorithm 1's
+	// observed inputs and Algorithm 2's chosen actuator values. Fields:
+	// action_high, action_low, socket_bw, socket_latency, saturation,
+	// hipri_bw, low_cores, low_prefetchers, backfill_cores.
+	KelpActuate Type = "kelp.actuate"
+	// ThrottlerActuate is one CoreThrottle control period. Fields:
+	// socket_bw, latency, cores.
+	ThrottlerActuate Type = "throttler.actuate"
+	// MBAActuate is one MBA rate-controller period. Fields: socket_bw,
+	// latency, percent.
+	MBAActuate Type = "mba.actuate"
+	// AgentAdmit records a successful task admission. Fields: task, group,
+	// ml, and (for accelerated tasks) cores.
+	AgentAdmit Type = "agent.admit"
+	// AgentReject records a refused admission. Fields: task, ml, reason.
+	AgentReject Type = "agent.reject"
+	// AgentEvict records a task eviction. Fields: task.
+	AgentEvict Type = "agent.evict"
+)
+
+// Types lists every event type in the taxonomy, in documentation order.
+func Types() []Type {
+	return []Type{
+		DistressAssert, DistressDeassert, SaturationCross,
+		KelpActuate, ThrottlerActuate, MBAActuate,
+		AgentAdmit, AgentReject, AgentEvict,
+	}
+}
+
+// Event is one structured flight-recorder record.
+//
+// Fields is marshaled by encoding/json with sorted keys, so a recorded
+// stream renders to deterministic bytes.
+type Event struct {
+	// Seq is the recorder-assigned monotonic sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Time is the simulated timestamp in seconds.
+	Time float64 `json:"time"`
+	// Type is the taxonomy entry.
+	Type Type `json:"type"`
+	// Source is the emitting layer ("memsys", "kelp", "agent", ...).
+	Source string `json:"source"`
+	// Fields carries the event payload.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink receives events synchronously as they are emitted. Sinks run under
+// the recorder's lock and must be fast and non-blocking; slow consumers
+// should poll Since instead.
+type Sink func(Event)
+
+// DefaultCapacity is the ring size used when callers don't care: large
+// enough to hold every event of a multi-second default-period session.
+const DefaultCapacity = 4096
+
+// Recorder is a fixed-capacity, thread-safe ring buffer of events. The
+// zero value is not usable; construct with New. A nil *Recorder is a valid
+// emit target (Emit is a no-op), so instrumented code never branches.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int    // index of the oldest event
+	size    int    // live events in the ring
+	nextSeq uint64 // seq the next event will get
+	dropped uint64 // events evicted by capacity pressure
+	sinks   []sinkEntry
+}
+
+type sinkEntry struct {
+	sink  Sink
+	types map[Type]bool // nil = all types
+}
+
+// New returns a recorder holding at most capacity events; when full, the
+// oldest events are dropped (and counted in Dropped).
+func New(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("events: capacity = %d", capacity)
+	}
+	return &Recorder{ring: make([]Event, capacity), nextSeq: 1}, nil
+}
+
+// MustNew is New that panics on an invalid capacity.
+func MustNew(capacity int) *Recorder {
+	r, err := New(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AttachSink registers a synchronous consumer. With no types listed the
+// sink sees every event; otherwise only the listed types.
+func (r *Recorder) AttachSink(s Sink, types ...Type) {
+	if r == nil || s == nil {
+		return
+	}
+	e := sinkEntry{sink: s}
+	if len(types) > 0 {
+		e.types = make(map[Type]bool, len(types))
+		for _, t := range types {
+			e.types[t] = true
+		}
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, e)
+	r.mu.Unlock()
+}
+
+// Emit records one event, stamping its sequence number. Calling Emit on a
+// nil recorder is a no-op.
+func (r *Recorder) Emit(time float64, t Type, source string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := Event{Seq: r.nextSeq, Time: time, Type: t, Source: source, Fields: fields}
+	r.nextSeq++
+	if r.size == len(r.ring) {
+		r.start = (r.start + 1) % len(r.ring)
+		r.size--
+		r.dropped++
+	}
+	r.ring[(r.start+r.size)%len(r.ring)] = e
+	r.size++
+	for _, se := range r.sinks {
+		if se.types == nil || se.types[t] {
+			se.sink(e)
+		}
+	}
+}
+
+// Len returns the number of events currently buffered.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Dropped returns how many events were evicted by capacity pressure.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the buffered events in sequence order.
+func (r *Recorder) Events() []Event {
+	return r.Since(0)
+}
+
+// Since returns buffered events with Seq > after, oldest first, optionally
+// restricted to the listed types. Since(0) returns everything buffered.
+func (r *Recorder) Since(after uint64, types ...Type) []Event {
+	if r == nil {
+		return nil
+	}
+	var want map[Type]bool
+	if len(types) > 0 {
+		want = make(map[Type]bool, len(types))
+		for _, t := range types {
+			want[t] = true
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for i := 0; i < r.size; i++ {
+		e := r.ring[(r.start+i)%len(r.ring)]
+		if e.Seq <= after {
+			continue
+		}
+		if want != nil && !want[e.Type] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// NextSeq returns the sequence number the next emitted event will carry.
+// Pollers can pass NextSeq()-1 as the starting "since" cursor.
+func (r *Recorder) NextSeq() uint64 {
+	if r == nil {
+		return 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextSeq
+}
+
+// WriteJSONL writes events as one JSON object per line — the -events
+// format of kelpbench and kelpsim. Map keys are sorted by encoding/json,
+// so equal event streams produce equal bytes.
+func WriteJSONL(w io.Writer, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLSink returns a sink streaming each event to w as JSONL. Encoding
+// errors are reported through errf if non-nil (once per failed event).
+func JSONLSink(w io.Writer, errf func(error)) Sink {
+	enc := json.NewEncoder(w)
+	return func(e Event) {
+		if err := enc.Encode(e); err != nil && errf != nil {
+			errf(err)
+		}
+	}
+}

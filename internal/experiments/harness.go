@@ -16,6 +16,7 @@ import (
 
 	"kelp/internal/accel"
 	"kelp/internal/cgroup"
+	"kelp/internal/events"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/sim"
@@ -142,6 +143,11 @@ type Scenario struct {
 	Node   node.Config
 	// Warmup is discarded; Measure is the scored interval.
 	Warmup, Measure sim.Duration
+	// Events, when non-nil, attaches a flight recorder to the run's node.
+	// The recorder is a passive observer: attaching one never changes the
+	// measured results. Share one recorder across sequential runs only —
+	// concurrent runs would interleave their streams.
+	Events *events.Recorder
 }
 
 // Result carries one run's raw measurements.
@@ -255,6 +261,9 @@ func Run(s Scenario) (*Result, error) {
 	n, err := node.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.Events != nil {
+		n.SetEvents(s.Events)
 	}
 	applied, err := policy.Apply(n, s.Policy, s.Opts)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"kelp/internal/events"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/sim"
@@ -29,6 +30,12 @@ type Harness struct {
 	// cell owns a freshly built node with its own seeded RNG streams, and
 	// results are collected in input order.
 	Parallel int
+	// Events, when non-nil, attaches a flight recorder to every colocation
+	// run (standalone baselines stay unrecorded — they are cached and shared
+	// across cells, so their events would repeat arbitrarily). The recorder
+	// never changes results, but a merged stream from concurrent cells
+	// interleaves nondeterministically: set Parallel = 1 when recording.
+	Events *events.Recorder
 
 	mu         sync.Mutex
 	standalone map[MLKind]*baselineEntry
@@ -129,6 +136,7 @@ func (h *Harness) RunNormalized(m MLKind, cpu []CPUSpec, k policy.Kind) (*NormRe
 		Node:    h.Node,
 		Warmup:  h.Warmup,
 		Measure: h.Measure,
+		Events:  h.Events,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s + %d CPU tasks under %s: %w", m, len(cpu), k, err)

@@ -1,0 +1,172 @@
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"kelp/internal/events"
+)
+
+// eventsResponse mirrors the GET /events payload.
+type eventsResponse struct {
+	Events    []events.Event `json:"events"`
+	NextSince uint64         `json:"next_since"`
+	Dropped   uint64         `json:"dropped"`
+}
+
+func getEvents(t *testing.T, url string) (eventsResponse, string) {
+	t.Helper()
+	resp, body := do(t, "GET", url, "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d %s", url, resp.StatusCode, body)
+	}
+	var out eventsResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return out, body
+}
+
+// runSession scripts the acceptance scenario against a fresh server: admit
+// CNN1, admit Stitch antagonists, advance 2000 ms of simulated time.
+func runSession(t *testing.T, ts string, scrapeMetrics bool) {
+	t.Helper()
+	if resp, body := do(t, "POST", ts+"/tasks", `{"ml":"CNN1","cores":2}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ML admission = %d %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 4; i++ {
+		if resp, body := do(t, "POST", ts+"/tasks", `{"kind":"Stitch"}`); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("batch admission = %d %s", resp.StatusCode, body)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if resp, _ := do(t, "POST", ts+"/advance", `{"ms":500}`); resp.StatusCode != 200 {
+			t.Fatal("advance failed")
+		}
+		if scrapeMetrics {
+			if resp, _ := do(t, "GET", ts+"/metrics", ""); resp.StatusCode != 200 {
+				t.Fatal("metrics scrape failed")
+			}
+		}
+	}
+}
+
+func TestEventsEndpointAcceptance(t *testing.T) {
+	_, ts := newServer(t)
+	runSession(t, ts.URL, false)
+
+	out, _ := getEvents(t, ts.URL+"/events")
+	if len(out.Events) == 0 {
+		t.Fatal("empty event stream after scripted session")
+	}
+	// Deterministic order: strictly increasing seq, non-decreasing time.
+	counts := map[events.Type]int{}
+	for i, e := range out.Events {
+		counts[e.Type]++
+		if i > 0 {
+			if e.Seq <= out.Events[i-1].Seq {
+				t.Fatalf("seq order broken at index %d", i)
+			}
+			if e.Time < out.Events[i-1].Time {
+				t.Fatalf("time order broken at index %d", i)
+			}
+		}
+	}
+	if counts[events.AgentAdmit] != 5 {
+		t.Errorf("agent.admit = %d, want 5 (CNN1 + 4 Stitch)", counts[events.AgentAdmit])
+	}
+	if counts[events.DistressAssert] == 0 {
+		t.Error("no distress.assert transition in a 2 s antagonized session")
+	}
+	if counts[events.KelpActuate] == 0 {
+		t.Error("no kelp.actuate in a 2 s session with a 0.1 s control period")
+	}
+	if out.NextSince != out.Events[len(out.Events)-1].Seq {
+		t.Errorf("next_since = %d, want last seq %d", out.NextSince, out.Events[len(out.Events)-1].Seq)
+	}
+
+	// Cursor: polling from next_since returns nothing new until time advances.
+	cursor := fmt.Sprintf("%s/events?since=%d", ts.URL, out.NextSince)
+	if tail, _ := getEvents(t, cursor); len(tail.Events) != 0 || tail.NextSince != out.NextSince {
+		t.Errorf("cursor poll returned %d events, next_since %d", len(tail.Events), tail.NextSince)
+	}
+	do(t, "POST", ts.URL+"/advance", `{"ms":200}`)
+	if tail, _ := getEvents(t, cursor); len(tail.Events) == 0 {
+		t.Error("cursor poll after advance returned nothing")
+	}
+
+	// Type filter and limit.
+	filtered, _ := getEvents(t, ts.URL+"/events?type=distress.assert&type=distress.deassert")
+	if len(filtered.Events) == 0 {
+		t.Fatal("type filter returned nothing")
+	}
+	for _, e := range filtered.Events {
+		if e.Type != events.DistressAssert && e.Type != events.DistressDeassert {
+			t.Errorf("filtered stream contains %s", e.Type)
+		}
+	}
+	limited, _ := getEvents(t, ts.URL+"/events?limit=3")
+	if len(limited.Events) != 3 {
+		t.Errorf("limit=3 returned %d events", len(limited.Events))
+	}
+	if limited.NextSince != limited.Events[2].Seq {
+		t.Errorf("limited next_since = %d, want %d", limited.NextSince, limited.Events[2].Seq)
+	}
+}
+
+func TestEventsValidation(t *testing.T) {
+	_, ts := newServer(t)
+	for _, q := range []string{"?since=abc", "?since=-1", "?limit=0", "?limit=x"} {
+		if resp, _ := do(t, "GET", ts.URL+"/events"+q, ""); resp.StatusCode != 400 {
+			t.Errorf("GET /events%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if resp, _ := do(t, "POST", ts.URL+"/events", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Error("POST /events allowed")
+	}
+	// An unknown type filter is not an error — it just matches nothing.
+	out, _ := getEvents(t, ts.URL+"/events?type=no.such.type")
+	if len(out.Events) != 0 {
+		t.Errorf("unknown type matched %d events", len(out.Events))
+	}
+}
+
+// Two identical scripted sessions must produce byte-identical event streams:
+// the simulation is single-clocked and seeded, so the flight recorder is a
+// pure function of the request script.
+func TestEventsDeterministicAcrossSessions(t *testing.T) {
+	_, ts1 := newServer(t)
+	_, ts2 := newServer(t)
+	runSession(t, ts1.URL, false)
+	runSession(t, ts2.URL, false)
+	_, body1 := getEvents(t, ts1.URL+"/events")
+	_, body2 := getEvents(t, ts2.URL+"/events")
+	if body1 != body2 {
+		t.Error("identical sessions produced different /events bodies")
+	}
+}
+
+// GET /metrics must read the counter window without consuming it (Peek, not
+// Window): a session polluted with metrics scrapes between every advance must
+// leave the controllers' inputs — and therefore the recorded actuation
+// stream — exactly as a scrape-free session does.
+func TestMetricsScrapeDoesNotPerturbControllers(t *testing.T) {
+	_, clean := newServer(t)
+	_, scraped := newServer(t)
+	runSession(t, clean.URL, false)
+	runSession(t, scraped.URL, true)
+
+	_, cleanEvents := getEvents(t, clean.URL+"/events")
+	_, scrapedEvents := getEvents(t, scraped.URL+"/events")
+	if cleanEvents != scrapedEvents {
+		t.Error("metrics scrapes changed the controllers' decision stream")
+	}
+
+	_, cleanMetrics := do(t, "GET", clean.URL+"/metrics", "")
+	_, scrapedMetrics := do(t, "GET", scraped.URL+"/metrics", "")
+	if cleanMetrics != scrapedMetrics {
+		t.Error("metrics scrapes changed the final metrics")
+	}
+}

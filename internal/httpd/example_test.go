@@ -1,0 +1,70 @@
+package httpd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"kelp/internal/agent"
+	"kelp/internal/events"
+	"kelp/internal/httpd"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+)
+
+// ExampleServer_events scripts a short kelpd session and polls the
+// flight-recorder endpoint, filtered to admission decisions. Because the
+// simulation only advances on POST /advance, the stream is a deterministic
+// function of the request script.
+func ExampleServer_events() {
+	opts := policy.DefaultOptions()
+	opts.SamplePeriod = 0.1
+	a, err := agent.New(agent.Config{
+		Node:    node.DefaultConfig(),
+		Policy:  policy.Kelp,
+		Options: opts,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := httpd.New(a)
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+	}
+	post("/tasks", `{"ml":"CNN1","cores":2}`)
+	post("/tasks", `{"kind":"Stitch"}`)
+	post("/advance", `{"ms":300}`)
+
+	resp, err := http.Get(ts.URL + "/events?type=agent.admit")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Events    []events.Event `json:"events"`
+		NextSince uint64         `json:"next_since"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	for _, e := range out.Events {
+		fmt.Printf("%s %s task=%v ml=%v\n", e.Type, e.Source, e.Fields["task"], e.Fields["ml"])
+	}
+	fmt.Println("next_since =", out.NextSince)
+	// Output:
+	// agent.admit agent task=CNN1 ml=true
+	// agent.admit agent task=Stitch-1#1 ml=false
+	// next_since = 2
+}

@@ -13,6 +13,7 @@
 //	POST /tasks              admit a task (scenario.TaskSpec JSON; ML via {"ml": "CNN1", "cores": 2})
 //	POST /advance            {"ms": 500} advance simulated time
 //	GET  /metrics            Prometheus text format (reads a counter window)
+//	GET  /events             flight-recorder events (?since=N&type=T&limit=K, JSON)
 //	GET  /fs/<path>          read a control file or list a directory
 //	PUT  /fs/<path>          write a control file (body = value)
 //	POST /fs/<path>          mkdir
@@ -24,11 +25,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
 	"kelp/internal/accel"
 	"kelp/internal/agent"
+	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/resctrlfs"
 	"kelp/internal/scenario"
@@ -64,6 +67,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/tasks", s.handleTasks)
 	mux.HandleFunc("/advance", s.handleAdvance)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/fs/", s.handleFS)
 	return mux
 }
@@ -253,6 +257,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
 		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
 	}
+}
+
+// handleEvents serves the node's flight recorder. Query parameters:
+//
+//	since=N   only events with seq > N (cursor; default 0 = everything buffered)
+//	type=T    repeatable event-type filter (e.g. type=distress.assert&type=kelp.actuate)
+//	limit=K   cap the response to the first K matching events
+//
+// The response carries next_since, the seq of the last event returned (or the
+// request's since when nothing matched), so clients can poll incrementally:
+// pass it back as ?since= on the next request. Events are returned oldest
+// first in seq order; because the simulation is single-clocked, replaying a
+// scripted session yields a byte-identical stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("since: %w", err))
+			return
+		}
+		since = n
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("limit = %q, want a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	var types []events.Type
+	for _, v := range q["type"] {
+		types = append(types, events.Type(v))
+	}
+
+	s.mu.Lock()
+	rec := s.agent.Events()
+	evs := rec.Since(since, types...)
+	dropped := rec.Dropped()
+	s.mu.Unlock()
+
+	if limit > 0 && len(evs) > limit {
+		evs = evs[:limit]
+	}
+	next := since
+	if len(evs) > 0 {
+		next = evs[len(evs)-1].Seq
+	}
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"events":     evs,
+		"next_since": next,
+		"dropped":    dropped,
+	})
 }
 
 func (s *Server) handleFS(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,140 @@
+package memsys
+
+import (
+	"reflect"
+	"testing"
+
+	"kelp/internal/events"
+)
+
+// resolveBW drives one Resolve with a single socket-0 flow of the given
+// demand, failing the test on error.
+func resolveBW(t *testing.T, s *System, bw float64) *Resolution {
+	t.Helper()
+	res, err := s.Resolve([]Flow{{Task: "agg", Socket: 0, DemandBW: bw}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEventsDistressTransitions(t *testing.T) {
+	s := MustSystem(DefaultConfig())
+	rec := events.MustNew(64)
+	now := 0.0
+	s.SetEvents(rec, func() float64 { return now })
+
+	// Calm: utilization well below the threshold, no events.
+	resolveBW(t, s, 10*GB)
+	if got := rec.Len(); got != 0 {
+		t.Fatalf("calm resolve emitted %d events", got)
+	}
+
+	// Hot: 70 GB/s interleaved over two 38.4 GB/s controllers is 91%
+	// utilization each — past the 0.75 threshold, so both assert.
+	now = 0.1
+	resolveBW(t, s, 70*GB)
+	asserts := rec.Since(0, events.DistressAssert)
+	if len(asserts) != 2 {
+		t.Fatalf("asserts = %d, want 2 (one per socket-0 controller)", len(asserts))
+	}
+	for _, e := range asserts {
+		if e.Time != 0.1 || e.Source != "memsys" {
+			t.Errorf("assert event = %+v", e)
+		}
+		if e.Fields["socket"].(int) != 0 {
+			t.Errorf("assert on socket %v, want 0", e.Fields["socket"])
+		}
+		if u := e.Fields["utilization"].(float64); u < 0.75 {
+			t.Errorf("asserted at utilization %v below threshold", u)
+		}
+	}
+
+	// Still hot: no repeated asserts (edge-triggered, not level-triggered).
+	now = 0.2
+	resolveBW(t, s, 72*GB)
+	if got := rec.Since(0, events.DistressAssert); len(got) != 2 {
+		t.Fatalf("re-resolve while asserted emitted %d asserts, want 2", len(got))
+	}
+
+	// Oversubscribed: 90 GB/s crosses 100% utilization on both controllers.
+	now = 0.3
+	resolveBW(t, s, 90*GB)
+	crosses := rec.Since(0, events.SaturationCross)
+	if len(crosses) != 2 {
+		t.Fatalf("saturation crosses = %d, want 2", len(crosses))
+	}
+	for _, e := range crosses {
+		if above := e.Fields["above"].(bool); !above {
+			t.Errorf("cross direction = %v, want above", above)
+		}
+	}
+
+	// Calm again: both controllers deassert and cross back below.
+	now = 0.4
+	resolveBW(t, s, 10*GB)
+	deasserts := rec.Since(0, events.DistressDeassert)
+	if len(deasserts) != 2 {
+		t.Fatalf("deasserts = %d, want 2", len(deasserts))
+	}
+	for _, e := range deasserts {
+		if e.Time != 0.4 {
+			t.Errorf("deassert at t=%v, want 0.4", e.Time)
+		}
+		if d := e.Fields["distress"].(float64); d != 0 {
+			t.Errorf("deassert with distress %v", d)
+		}
+	}
+	backBelow := 0
+	for _, e := range rec.Since(0, events.SaturationCross) {
+		if !e.Fields["above"].(bool) {
+			backBelow++
+		}
+	}
+	if backBelow != 2 {
+		t.Errorf("below-crossings = %d, want 2", backBelow)
+	}
+}
+
+// Attaching a recorder must not perturb resolution results: the flight
+// recorder is an observer, not an actor.
+func TestEventsRecorderDoesNotChangeResolution(t *testing.T) {
+	flows := []Flow{
+		{Task: "a", Socket: 0, DemandBW: 70 * GB},
+		{Task: "b", Socket: 1, DemandBW: 20 * GB, RemoteFrac: 0.3},
+	}
+	plain := MustSystem(DefaultConfig())
+	recorded := MustSystem(DefaultConfig())
+	recorded.SetEvents(events.MustNew(64), func() float64 { return 0 })
+
+	for i := 0; i < 5; i++ {
+		rp, err := plain.Resolve(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := recorded.Resolve(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rp, rr) {
+			t.Fatalf("step %d: resolutions diverge with recorder attached", i)
+		}
+	}
+}
+
+func TestEventsDetach(t *testing.T) {
+	s := MustSystem(DefaultConfig())
+	rec := events.MustNew(64)
+	s.SetEvents(rec, func() float64 { return 0 })
+	resolveBW(t, s, 70*GB)
+	n := rec.Len()
+	if n == 0 {
+		t.Fatal("no events before detach")
+	}
+	s.SetEvents(nil, nil)
+	resolveBW(t, s, 10*GB)
+	resolveBW(t, s, 70*GB)
+	if rec.Len() != n {
+		t.Errorf("detached recorder grew from %d to %d events", n, rec.Len())
+	}
+}

@@ -3,13 +3,27 @@ package memsys
 import (
 	"fmt"
 	"math"
+
+	"kelp/internal/events"
 )
 
 // System resolves memory traffic for a configured node. It is stateless
-// between steps except for caching the last resolution for inspection.
+// between steps except for caching the last resolution for inspection and,
+// when a flight recorder is attached, the per-controller signal state used
+// to detect distress and saturation transitions.
 type System struct {
 	cfg  Config
 	last *Resolution
+
+	// events, when non-nil, receives distress assert/deassert and
+	// saturation-crossing transitions; now supplies the simulated
+	// timestamp (the node wires it to its engine clock).
+	events *events.Recorder
+	now    func() float64
+	// prevDistress / prevSaturated track each controller's signal state at
+	// the previous resolution, so only transitions are emitted.
+	prevDistress  []bool
+	prevSaturated []bool
 }
 
 // NewSystem returns a memory system for cfg.
@@ -42,6 +56,60 @@ func (s *System) SetFineGrainedQoS(on bool) { s.cfg.FineGrainedQoS = on }
 
 // Last returns the most recent resolution, or nil before the first step.
 func (s *System) Last() *Resolution { return s.last }
+
+// SetEvents attaches a flight recorder; now supplies the simulated
+// timestamp stamped on each event. Distress assert/deassert and
+// saturation-crossing transitions are emitted per controller from the next
+// Resolve on. A nil recorder detaches (and resets the transition state).
+func (s *System) SetEvents(rec *events.Recorder, now func() float64) {
+	if rec == nil || now == nil {
+		s.events, s.now = nil, nil
+		s.prevDistress, s.prevSaturated = nil, nil
+		return
+	}
+	s.events, s.now = rec, now
+}
+
+// emitTransitions compares each controller's distress and saturation state
+// against the previous resolution and emits one event per edge. The
+// distress signal has no hysteresis: it asserts the moment utilization
+// exceeds cfg.DistressThreshold and deasserts the moment it falls back
+// (docs/MODEL.md §4); any smoothing happens at the policy layer's
+// watermarks, not here.
+func (s *System) emitTransitions(controllers []ControllerState) {
+	if s.prevDistress == nil {
+		s.prevDistress = make([]bool, len(controllers))
+		s.prevSaturated = make([]bool, len(controllers))
+	}
+	now := s.now()
+	for c, st := range controllers {
+		asserted := st.Distress > 0
+		if asserted != s.prevDistress[c] {
+			typ := events.DistressDeassert
+			if asserted {
+				typ = events.DistressAssert
+			}
+			s.events.Emit(now, typ, "memsys", map[string]any{
+				"socket":      st.Socket,
+				"controller":  st.Index,
+				"utilization": st.Utilization,
+				"distress":    st.Distress,
+				"threshold":   s.cfg.DistressThreshold,
+			})
+			s.prevDistress[c] = asserted
+		}
+		saturated := st.Utilization >= 1
+		if saturated != s.prevSaturated[c] {
+			s.events.Emit(now, events.SaturationCross, "memsys", map[string]any{
+				"socket":      st.Socket,
+				"controller":  st.Index,
+				"utilization": st.Utilization,
+				"above":       saturated,
+			})
+			s.prevSaturated[c] = saturated
+		}
+	}
+}
 
 // queueLatency returns the loaded latency multiplier for utilization u.
 func (s *System) queueLatency(u float64) float64 {
@@ -344,6 +412,9 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 		}
 	}
 
+	if s.events != nil {
+		s.emitTransitions(res.Controllers)
+	}
 	s.last = res
 	return res, nil
 }

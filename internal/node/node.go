@@ -10,6 +10,7 @@ import (
 
 	"kelp/internal/cgroup"
 	"kelp/internal/cpu"
+	"kelp/internal/events"
 	"kelp/internal/memsys"
 	"kelp/internal/perfmon"
 	"kelp/internal/sim"
@@ -108,6 +109,11 @@ type Node struct {
 	tasks  []*boundTask
 	byName map[string]*boundTask
 
+	// events is the optional flight recorder shared by every layer that
+	// makes decisions on this node (memsys transitions, controller
+	// actuations, agent admissions). Nil when no recorder is attached.
+	events *events.Recorder
+
 	// distressEWMA backs the hardware prefetch governor's smoothing.
 	distressEWMA map[int]float64
 }
@@ -172,6 +178,24 @@ func (n *Node) Monitor() *perfmon.Monitor { return n.mon }
 
 // Engine returns the node's simulation engine.
 func (n *Node) Engine() *sim.Engine { return n.engine }
+
+// SetEvents attaches a flight recorder to the node and every decision
+// layer beneath it. The recorder is stamped with the engine's simulated
+// clock; attaching one never changes simulation behaviour. Pass nil to
+// detach.
+func (n *Node) SetEvents(rec *events.Recorder) {
+	n.events = rec
+	if rec == nil {
+		n.mem.SetEvents(nil, nil)
+		return
+	}
+	n.mem.SetEvents(rec, func() float64 { return float64(n.engine.Now()) })
+}
+
+// Events returns the attached flight recorder, or nil. The returned value
+// is a valid (no-op) emit target even when nil, so controller layers call
+// n.Events().Emit without branching.
+func (n *Node) Events() *events.Recorder { return n.events }
 
 // Now returns the current simulated time.
 func (n *Node) Now() sim.Time { return n.engine.Now() }

@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 
+	"kelp/internal/events"
 	"kelp/internal/node"
 )
 
@@ -85,4 +86,9 @@ func (c *MBAController) Control(now float64) {
 		panic(fmt.Sprintf("policy: mba enforce: %v", err))
 	}
 	c.history = append(c.history, MBADecision{Time: now, SocketBW: bw, Latency: lat, Percent: c.cur})
+	if rec := c.n.Events(); rec != nil {
+		rec.Emit(now, events.MBAActuate, "mba", map[string]any{
+			"socket_bw": bw, "latency": lat, "percent": c.cur,
+		})
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kelp/internal/cpu"
+	"kelp/internal/events"
 	"kelp/internal/node"
 )
 
@@ -114,4 +115,9 @@ func (t *Throttler) Control(now float64) {
 	t.history = append(t.history, ThrottlerDecision{
 		Time: now, SocketBW: bw, Latency: lat, Cores: t.cur,
 	})
+	if rec := t.n.Events(); rec != nil {
+		rec.Emit(now, events.ThrottlerActuate, "throttler", map[string]any{
+			"socket_bw": bw, "latency": lat, "cores": t.cur,
+		})
+	}
 }

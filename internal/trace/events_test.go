@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"kelp/internal/events"
+	"kelp/internal/policy"
+)
+
+func TestRenderWithEvents(t *testing.T) {
+	tl := Timeline{Segments: []Segment{
+		{Phase: "cpu", Start: 0, End: 4e-3},
+		{Phase: "accel", Start: 4e-3, End: 8e-3},
+	}}
+	evs := []events.Event{
+		{Seq: 1, Time: 0.5e-3, Type: events.DistressAssert, Source: "memsys"},
+		{Seq: 2, Time: 1e-3, Type: events.KelpActuate, Source: "kelp",
+			Fields: map[string]any{"action_low": "THROTTLE"}},
+		{Seq: 3, Time: 2e-3, Type: events.KelpActuate, Source: "kelp",
+			Fields: map[string]any{"action_low": "NOP"}},
+		{Seq: 4, Time: 3e-3, Type: events.DistressDeassert, Source: "memsys"},
+		{Seq: 5, Time: 5e-3, Type: events.KelpActuate, Source: "kelp",
+			Fields: map[string]any{"action_low": "BOOST"}},
+	}
+	got := tl.RenderWithEvents(1e-3, evs)
+	lines := strings.Split(got, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), got)
+	}
+	want := []string{
+		"phase    CCCCAAAA",
+		"control   T.  B  ",
+		"distress ####    ",
+	}
+	for i, w := range want {
+		if strings.TrimRight(lines[i], " ") != strings.TrimRight(w, " ") {
+			t.Errorf("row %d = %q, want %q", i, lines[i], w)
+		}
+	}
+
+	// An empty timeline renders nothing regardless of events.
+	var empty Timeline
+	if empty.RenderWithEvents(1e-3, evs) != "" {
+		t.Error("empty timeline rendered rows")
+	}
+}
+
+func TestRenderWithEventsUnterminatedDistress(t *testing.T) {
+	tl := Timeline{Segments: []Segment{{Phase: "cpu", Start: 0, End: 4e-3}}}
+	evs := []events.Event{
+		{Seq: 1, Time: 2e-3, Type: events.DistressAssert, Source: "memsys"},
+	}
+	got := tl.RenderWithEvents(1e-3, evs)
+	if !strings.Contains(got, "distress   ##") {
+		t.Errorf("unterminated assert should fill to span end:\n%s", got)
+	}
+}
+
+// A policy-managed trace run records the controller acting inside the
+// traced window and reproduces the paper's protection: the CPU-assist
+// stretch under KP must beat the unmanaged baseline's.
+func TestRunUnderPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 2
+
+	unmanaged, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unmanaged.Events != nil {
+		t.Error("unmanaged run attached a recorder")
+	}
+
+	kp := policy.Kelp
+	cfg.Policy = &kp
+	managed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(managed.Events) == 0 {
+		t.Fatal("policy run recorded no events")
+	}
+	actuations := 0
+	for _, e := range managed.Events {
+		if e.Type == events.KelpActuate {
+			actuations++
+		}
+	}
+	if actuations == 0 {
+		t.Error("no kelp.actuate events within the traced window (1 ms period)")
+	}
+	if managed.CPUStretch >= unmanaged.CPUStretch {
+		t.Errorf("KP CPU stretch %.3f not better than unmanaged %.3f",
+			managed.CPUStretch, unmanaged.CPUStretch)
+	}
+
+	// The merged render has aligned rows.
+	out := managed.Colocated.RenderWithEvents(0.2e-3, managed.Events)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("merged render rows = %d", len(lines))
+	}
+	if len(lines[1]) > len(lines[0]) || len(lines[2]) > len(lines[0]) {
+		t.Errorf("event rows wider than phase row:\n%s", out)
+	}
+}

@@ -11,7 +11,9 @@ import (
 
 	"kelp/internal/accel"
 	"kelp/internal/cgroup"
+	"kelp/internal/events"
 	"kelp/internal/node"
+	"kelp/internal/policy"
 	"kelp/internal/sim"
 	"kelp/internal/workload"
 )
@@ -70,6 +72,87 @@ func (t *Timeline) Render(secPerChar float64) string {
 	return b.String()
 }
 
+// RenderWithEvents draws the phase row plus two aligned rows derived from a
+// flight-recorder stream: "control", one glyph per Kelp actuation at its
+// firing time (T = THROTTLE, B = BOOST, . = NOP, from the decision's
+// action_low), and "distress", '#' for every interval during which at least
+// one memory controller held its distress signal asserted. Events outside
+// the timeline's span are clipped.
+func (t *Timeline) RenderWithEvents(secPerChar float64, evs []events.Event) string {
+	phase := t.Render(secPerChar)
+	if phase == "" {
+		return ""
+	}
+	width := len(phase)
+	start := t.Segments[0].Start
+	col := func(sec float64) int { return int((sec - start) / secPerChar) }
+	blank := func() []byte {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		return row
+	}
+
+	control := blank()
+	for _, e := range evs {
+		if e.Type != events.KelpActuate {
+			continue
+		}
+		c := col(e.Time)
+		if c < 0 || c >= width {
+			continue
+		}
+		switch fmt.Sprint(e.Fields["action_low"]) {
+		case "THROTTLE":
+			control[c] = 'T'
+		case "BOOST":
+			control[c] = 'B'
+		default:
+			if control[c] == ' ' {
+				control[c] = '.'
+			}
+		}
+	}
+
+	distress := blank()
+	fill := func(from, to float64) {
+		lo, hi := col(from), col(to)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= width {
+			hi = width - 1
+		}
+		for i := lo; i <= hi && i >= 0; i++ {
+			distress[i] = '#'
+		}
+	}
+	depth := 0
+	var spanStart float64
+	for _, e := range evs {
+		switch e.Type {
+		case events.DistressAssert:
+			if depth == 0 {
+				spanStart = e.Time
+			}
+			depth++
+		case events.DistressDeassert:
+			if depth > 0 {
+				depth--
+				if depth == 0 {
+					fill(spanStart, e.Time)
+				}
+			}
+		}
+	}
+	if depth > 0 {
+		fill(spanStart, t.Segments[len(t.Segments)-1].End)
+	}
+
+	return "phase    " + phase + "\ncontrol  " + string(control) + "\ndistress " + string(distress)
+}
+
 // Config parameterizes a trace run.
 type Config struct {
 	// Aggressor level for the colocated run.
@@ -78,6 +161,13 @@ type Config struct {
 	Requests int
 	// Node configuration.
 	Node node.Config
+	// Policy, when non-nil, runs both timelines under the given isolation
+	// policy instead of the figure's unmanaged placement, with a flight
+	// recorder attached: Result.Events then carries the colocated run's
+	// stream, and RenderWithEvents can draw controller actuations and
+	// distress spans under the phase row. The control period is shrunk to
+	// 1 ms so actuations land within the millisecond-scale trace.
+	Policy *policy.Kind
 }
 
 // DefaultConfig traces 4 serial requests against a high aggressor.
@@ -93,6 +183,9 @@ type Result struct {
 	CPUStretch float64
 	// AccelStretch is the same ratio for accelerator phases (~1.0).
 	AccelStretch float64
+	// Events is the colocated run's flight-recorder stream (nil unless
+	// Config.Policy was set).
+	Events []events.Event
 }
 
 // Run produces both timelines.
@@ -100,15 +193,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Requests < 1 {
 		return nil, fmt.Errorf("trace: Requests = %d", cfg.Requests)
 	}
-	standalone, err := traceRun(cfg, false)
+	standalone, _, err := traceRun(cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	colocated, err := traceRun(cfg, true)
+	colocated, evs, err := traceRun(cfg, true)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Standalone: *standalone, Colocated: *colocated}
+	res := &Result{Standalone: *standalone, Colocated: *colocated, Events: evs}
 	if base := standalone.PhaseTotal("cpu"); base > 0 {
 		res.CPUStretch = colocated.PhaseTotal("cpu") / base
 	}
@@ -119,25 +212,44 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // traceRun executes one serial-request RNN1 run and records its phases.
-func traceRun(cfg Config, withAggressor bool) (*Timeline, error) {
+// With cfg.Policy set, the run is placed through policy.Apply with a flight
+// recorder attached and the recorded stream is returned alongside.
+func traceRun(cfg Config, withAggressor bool) (*Timeline, []events.Event, error) {
 	n, err := node.New(cfg.Node)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var rec *events.Recorder
+	mlGroup, lowGroup := "ml", "agg"
 	cg := n.Cgroups()
-	if _, err := cg.Create("ml", cgroup.High); err != nil {
-		return nil, err
-	}
-	if err := cg.SetCPUs("ml", n.Processor().SocketCores(0).Take(2)); err != nil {
-		return nil, err
+	if cfg.Policy != nil {
+		rec = events.MustNew(events.DefaultCapacity)
+		n.SetEvents(rec)
+		opts := policy.DefaultOptions()
+		opts.MLCores = 2
+		// The whole trace spans a few milliseconds, so the evaluation's
+		// 100 ms control period would never fire within it.
+		opts.SamplePeriod = 0.001
+		applied, err := policy.Apply(n, *cfg.Policy, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		mlGroup, lowGroup = applied.ML, applied.Low
+	} else {
+		if _, err := cg.Create(mlGroup, cgroup.High); err != nil {
+			return nil, nil, err
+		}
+		if err := cg.SetCPUs(mlGroup, n.Processor().SocketCores(0).Take(2)); err != nil {
+			return nil, nil, err
+		}
 	}
 	dev, err := accel.NewDevice(accel.NewTPU())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	base, err := workload.NewRNN1(dev, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Serial generation: one request at a time, as in the paper's figure.
 	icfg := base.Config()
@@ -145,26 +257,28 @@ func traceRun(cfg Config, withAggressor bool) (*Timeline, error) {
 	icfg.MaxConcurrency = 1
 	server, err := workload.NewInference("RNN1-trace", dev, icfg, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := n.AddTask(server, "ml"); err != nil {
-		return nil, err
+	if err := n.AddTask(server, mlGroup); err != nil {
+		return nil, nil, err
 	}
 
 	if withAggressor {
-		if _, err := cg.Create("agg", cgroup.Low); err != nil {
-			return nil, err
-		}
 		agg, err := workload.NewDRAMAggressor(cfg.Level)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		cores := n.Processor().SocketCores(0)
-		if err := cg.SetCPUs("agg", cores.Minus(cores.Take(2)).Take(agg.Config().Threads)); err != nil {
-			return nil, err
+		if cfg.Policy == nil {
+			if _, err := cg.Create(lowGroup, cgroup.Low); err != nil {
+				return nil, nil, err
+			}
+			cores := n.Processor().SocketCores(0)
+			if err := cg.SetCPUs(lowGroup, cores.Minus(cores.Take(2)).Take(agg.Config().Threads)); err != nil {
+				return nil, nil, err
+			}
 		}
-		if err := n.AddTask(agg, "agg"); err != nil {
-			return nil, err
+		if err := n.AddTask(agg, lowGroup); err != nil {
+			return nil, nil, err
 		}
 	}
 
@@ -186,7 +300,10 @@ func traceRun(cfg Config, withAggressor bool) (*Timeline, error) {
 		return server.Completed() < want
 	})
 	if !done {
-		return nil, fmt.Errorf("trace: run did not complete %d requests", cfg.Requests)
+		return nil, nil, fmt.Errorf("trace: run did not complete %d requests", cfg.Requests)
 	}
-	return tl, nil
+	if rec == nil {
+		return tl, nil, nil
+	}
+	return tl, rec.Events(), nil
 }

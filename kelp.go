@@ -40,6 +40,7 @@ import (
 	"kelp/internal/agent"
 	"kelp/internal/cluster"
 	"kelp/internal/core"
+	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/fleet"
 	"kelp/internal/node"
@@ -217,6 +218,19 @@ type ClusterConfig = cluster.Config
 
 // RunCluster simulates a distributed training cluster.
 func RunCluster(cfg ClusterConfig) (*cluster.Result, error) { return cluster.Run(cfg) }
+
+// EventRecorder is the flight recorder: a fixed-capacity ring of
+// structured events (distress transitions, controller actuations,
+// admission decisions). Attach one with Node.SetEvents, or read the one
+// every Agent wires in via Agent.Events; see docs/OBSERVABILITY.md.
+type EventRecorder = events.Recorder
+
+// Event is one flight-recorder entry.
+type Event = events.Event
+
+// NewEventRecorder builds a recorder; capacity 0 is rejected, use
+// events.DefaultCapacity (4096) for the standard size.
+func NewEventRecorder(capacity int) (*EventRecorder, error) { return events.New(capacity) }
 
 // Agent is the Borglet-style node-level scheduler integration (§IV-D):
 // task admission with priorities, profile loading, policy application and

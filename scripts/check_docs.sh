@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Documentation hygiene checks, run by the CI docs job:
+#
+#   1. every internal/ package carries a package doc comment
+#      ("// Package <name> ..." in some file of the package);
+#   2. every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
+#      and docs/*.md resolves to a file or directory in the repo.
+#
+# Exits non-zero listing every violation (it does not stop at the first).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. package doc comments -------------------------------------------------
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -q "^// Package $pkg " "$dir"*.go 2>/dev/null; then
+        echo "check_docs: internal/$pkg has no '// Package $pkg ...' doc comment"
+        fail=1
+    fi
+done
+
+# --- 2. relative markdown links ----------------------------------------------
+# Collect inline [text](target) links, drop absolute URLs and pure anchors,
+# strip any #fragment, and test the target relative to the linking file.
+# NOTE: the while loop reads from process substitution, not a pipe — a pipe
+# would run the loop in a subshell and lose the fail flag.
+docs=$(ls README.md DESIGN.md EXPERIMENTS.md docs/*.md 2>/dev/null)
+for doc in $docs; do
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$(dirname "$doc")/$path" ]; then
+            echo "check_docs: $doc links to missing file: $target"
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: OK"
