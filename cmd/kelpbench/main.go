@@ -17,6 +17,11 @@
 // writes the merged stream as JSON Lines when the sweep finishes. Recording
 // forces -parallel 1 so the stream is deterministic; the tables themselves
 // are identical with or without it. See docs/OBSERVABILITY.md.
+//
+// -faults spec injects deterministic faults into every colocation run's
+// controller signal path (standalone baselines stay fault-free), and
+// -exp resilience runs the dedicated fault-injection study (opt-in, not
+// part of 'all'); see docs/RESILIENCE.md.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"kelp/internal/events"
 	"kelp/internal/experiments"
+	"kelp/internal/faults"
 	"kelp/internal/fleet"
 	"kelp/internal/sim"
 	"kelp/internal/trace"
@@ -39,6 +45,8 @@ func main() {
 	outdir := flag.String("outdir", "", "also write each table as CSV into this directory")
 	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
 	eventsPath := flag.String("events", "", "write flight-recorder events as JSONL (forces -parallel 1)")
+	faultsFlag := flag.String("faults", "", "fault injection spec applied to every colocation run (see docs/RESILIENCE.md)")
+	faultSeed := flag.Uint64("faultseed", 42, "PRNG seed for the resilience study's fault regimes")
 	flag.Parse()
 
 	if *outdir != "" {
@@ -70,6 +78,12 @@ func main() {
 		h.Warmup = 1 * sim.Second
 		h.Measure = 1 * sim.Second
 	}
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelpbench:", err)
+		os.Exit(2)
+	}
+	h.Faults = spec
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -210,6 +224,21 @@ func main() {
 		}
 		return emit("fig16", experiments.RemoteSweepTable(rows))
 	})
+	// The resilience study is opt-in (not part of 'all'): it injects
+	// faults by design, so the default sweep stays byte-identical to a
+	// build without the injector.
+	if want["resilience"] {
+		ran++
+		rows, err := experiments.Resilience(h, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: resilience: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emit("resilience", experiments.ResilienceTable(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: resilience: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "kelpbench: unknown experiment %q\n", *exp)

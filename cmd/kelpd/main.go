@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	kelpd [-addr :8080] [-policy KP] [-profile prof.json]
+//	kelpd [-addr :8080] [-policy KP] [-profile prof.json] [-faults spec] [-events out.jsonl]
 //
 // Example session:
 //
@@ -13,20 +13,32 @@
 //	curl -XPOST localhost:8080/tasks -d '{"kind":"Stitch"}'
 //	curl -XPOST localhost:8080/advance -d '{"ms":2000}'
 //	curl localhost:8080/metrics
+//	curl localhost:8080/healthz
 //	curl 'localhost:8080/events?type=distress.assert&type=kelp.actuate'
 //	curl localhost:8080/fs/cgroup/low/cpuset.cpus
 //
-// See docs/OBSERVABILITY.md for the event taxonomy and a worked session.
+// The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests get
+// a bounded grace period and, when -events is set, the flight-recorder
+// buffer is flushed to the given JSONL file on exit.
+//
+// See docs/OBSERVABILITY.md for the event taxonomy and a worked session,
+// and docs/RESILIENCE.md for the -faults spec format.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"kelp/internal/agent"
+	"kelp/internal/events"
+	"kelp/internal/faults"
 	"kelp/internal/httpd"
 	"kelp/internal/node"
 	"kelp/internal/policy"
@@ -34,45 +46,107 @@ import (
 	"kelp/internal/scenario"
 )
 
+// shutdownGrace bounds how long in-flight requests may run after a
+// termination signal before the listener is torn down anyway.
+const shutdownGrace = 5 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	polFlag := flag.String("policy", "KP", "isolation policy: BL, CT, KP-SD, KP, HW-FG, MBA")
 	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
+	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.2,actstick=0.1 (see docs/RESILIENCE.md)")
+	eventsPath := flag.String("events", "", "flush the flight-recorder events as JSONL to this file on shutdown")
 	flag.Parse()
 
-	pol, err := scenario.ParsePolicy(*polFlag)
-	if err != nil {
+	if err := run(*addr, *polFlag, *profilePath, *faultsFlag, *eventsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "kelpd:", err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+}
+
+func run(addr, polFlag, profilePath, faultsFlag, eventsPath string) error {
+	pol, err := scenario.ParsePolicy(polFlag)
+	if err != nil {
+		return err
+	}
+	spec, err := faults.ParseSpec(faultsFlag)
+	if err != nil {
+		return err
 	}
 	profiles := profile.NewRegistry()
-	if *profilePath != "" {
-		p, err := profile.Load(*profilePath)
+	if profilePath != "" {
+		p, err := profile.Load(profilePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kelpd:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := profiles.Put(p); err != nil {
-			fmt.Fprintln(os.Stderr, "kelpd:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	opts := policy.DefaultOptions()
 	a, err := agent.New(agent.Config{
 		Node:     node.DefaultConfig(),
 		Policy:   pol,
-		Options:  opts,
+		Options:  policy.DefaultOptions(),
 		Profiles: profiles,
+		Faults:   spec,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kelpd:", err)
-		os.Exit(1)
+		return err
 	}
 	srv, err := httpd.New(a)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kelpd:", err)
-		os.Exit(1)
+		return err
 	}
-	log.Printf("kelpd: policy %s, listening on %s", pol, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	log.Printf("kelpd: policy %s, faults %s, listening on %s", pol, spec, addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("kelpd: %s, shutting down (grace %s)", sig, shutdownGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("kelpd: shutdown: %v", err)
+		}
+	case err, ok := <-errc:
+		if ok && err != nil {
+			return err
+		}
+	}
+
+	if eventsPath != "" {
+		if err := flushEvents(a.Events(), eventsPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushEvents writes the recorder's buffered events as JSONL.
+func flushEvents(rec *events.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	evs := rec.Events()
+	if err := events.WriteJSONL(f, evs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("kelpd: %d events flushed to %s (%d dropped by the ring)",
+		len(evs), path, rec.Dropped())
+	return nil
 }

@@ -3,21 +3,28 @@
 //
 // Usage:
 //
-//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5] [-parallel N] [-events out.jsonl]
+//	kelpsim -ml CNN1 -cpu Stitch -policy KP [-duration 5] [-parallel N] [-events out.jsonl] [-faults spec]
 //
 // -events writes the colocated run's flight-recorder stream (admissions,
 // controller actuations, distress transitions) as JSON Lines, one event per
 // line; see docs/OBSERVABILITY.md.
+//
+// -faults injects deterministic faults into the controller's signal path
+// (e.g. -faults seed=7,drop=0.3,actstick=0.1); the standalone baseline
+// stays fault-free. See docs/RESILIENCE.md for the spec format and the
+// degradation semantics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"kelp/internal/events"
 	"kelp/internal/experiments"
+	"kelp/internal/faults"
 	"kelp/internal/policy"
 	"kelp/internal/profile"
 	"kelp/internal/scenario"
@@ -60,6 +67,7 @@ func main() {
 	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
 	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
 	eventsPath := flag.String("events", "", "write the colocated run's flight-recorder events as JSONL to this file")
+	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.2,actstick=0.1 (see docs/RESILIENCE.md)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -79,6 +87,11 @@ func main() {
 	if *eventsPath != "" {
 		h.Events = events.MustNew(events.DefaultCapacity)
 	}
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		die(err)
+	}
+	h.Faults = spec
 
 	if *scenarioPath != "" {
 		spec, err := scenario.Load(*scenarioPath)
@@ -150,6 +163,19 @@ func main() {
 	}
 	if th := r.Raw.Applied.Throttler; th != nil {
 		fmt.Printf("core throttler: cores=%d decisions=%d\n", th.Cores(), len(th.History()))
+	}
+	if inj := r.Raw.Faults; inj != nil {
+		counts := inj.Counts()
+		classes := make([]string, 0, len(counts))
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Printf("faults: spec %s, %d injected, degraded=%v\n",
+			inj.Spec(), inj.Total(), r.Raw.Applied.Degraded())
+		for _, c := range classes {
+			fmt.Printf("  %-12s %d\n", c, counts[c])
+		}
 	}
 
 	if *eventsPath != "" {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"kelp/internal/events"
+	"kelp/internal/faults"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/profile"
@@ -38,6 +39,11 @@ type Config struct {
 	// EventCapacity sizes the flight recorder's ring buffer; 0 selects
 	// events.DefaultCapacity.
 	EventCapacity int
+	// Faults configures deterministic fault injection on the controller
+	// signal path (the kelpd -faults flag). The zero Spec disables
+	// injection; the injector attaches only after the policy is applied,
+	// so boot-time configuration is never fault-gated.
+	Faults faults.Spec
 }
 
 // Agent manages one node.
@@ -94,6 +100,10 @@ func (a *Agent) reject(task string, ml bool, err error) error {
 // Applied returns the policy application, or nil before ML admission.
 func (a *Agent) Applied() *policy.Applied { return a.applied }
 
+// Degraded reports whether the node's controller is currently running in
+// fail-safe mode (surfaced by kelpd's GET /healthz).
+func (a *Agent) Degraded() bool { return a.applied.Degraded() }
+
 // AdmitML schedules the accelerated high-priority task, loading its
 // profile and applying the policy. Only one accelerated task per machine,
 // per the paper's usage model (§II-A).
@@ -130,6 +140,13 @@ func (a *Agent) AdmitML(t workload.Task, cores int) error {
 	applied, err := policy.Apply(a.n, a.cfg.Policy, opts)
 	if err != nil {
 		return a.reject(t.Name(), true, err)
+	}
+	if a.cfg.Faults.Enabled() && a.n.Faults() == nil {
+		inj, err := faults.NewInjector(a.cfg.Faults)
+		if err != nil {
+			return a.reject(t.Name(), true, err)
+		}
+		a.n.SetFaults(inj)
 	}
 	if err := a.n.AddTask(t, applied.ML); err != nil {
 		return a.reject(t.Name(), true, err)

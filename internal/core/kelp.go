@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"kelp/internal/cpu"
 	"kelp/internal/events"
@@ -62,6 +63,10 @@ type Watermarks struct {
 }
 
 // Validate reports whether each high watermark sits above its low one.
+// Malformed profiles — NaN, infinite, negative, or inverted thresholds —
+// are rejected here, at admission time, so a bad profile can never reach
+// the control loop's comparisons (where NaN silently compares false and
+// would wedge the controller at NOP forever).
 func (w Watermarks) Validate() error {
 	type pair struct {
 		name    string
@@ -73,9 +78,17 @@ func (w Watermarks) Validate() error {
 		{"Latency", w.LatencyHigh, w.LatencyLow},
 		{"Saturation", w.SaturationHigh, w.SaturationLow},
 	} {
+		if math.IsNaN(p.hi) || math.IsNaN(p.low) || math.IsInf(p.hi, 0) || math.IsInf(p.low, 0) {
+			return fmt.Errorf("core: %s watermarks hi=%v low=%v are not finite", p.name, p.hi, p.low)
+		}
 		if p.hi <= 0 || p.low < 0 || p.hi <= p.low {
 			return fmt.Errorf("core: %s watermarks hi=%v low=%v", p.name, p.hi, p.low)
 		}
+	}
+	// Saturation is a duty cycle: a high watermark above 1 can never fire
+	// and silently disables the distress comparison.
+	if w.SaturationHigh > 1 {
+		return fmt.Errorf("core: Saturation watermark hi=%v > 1", w.SaturationHigh)
 	}
 	return nil
 }
@@ -121,6 +134,15 @@ type Config struct {
 	// SamplePeriod is the control interval (10 s in production; the paper
 	// reports Kelp is insensitive to it, which our ablation bench checks).
 	SamplePeriod float64
+	// DegradeAfter (K) is the number of consecutive faulted control
+	// periods — dropped or rejected samples, stalls, failed actuations —
+	// after which the runtime enters fail-safe mode. 0 selects
+	// DefaultDegradeAfter.
+	DegradeAfter int
+	// RecoverAfter (J) is the number of consecutive clean periods after
+	// which the runtime leaves fail-safe mode. 0 selects
+	// DefaultRecoverAfter.
+	RecoverAfter int
 }
 
 // Validate reports whether the configuration is usable on the given node.
@@ -155,10 +177,24 @@ func (c Config) Validate(n *node.Node) error {
 	if c.MinLowCores < 1 || c.MaxLowCores < c.MinLowCores {
 		return fmt.Errorf("core: low core bounds [%d, %d]", c.MinLowCores, c.MaxLowCores)
 	}
-	if c.SamplePeriod <= 0 {
+	if math.IsNaN(c.SamplePeriod) || c.SamplePeriod <= 0 {
 		return fmt.Errorf("core: SamplePeriod = %v", c.SamplePeriod)
 	}
+	if c.DegradeAfter < 0 || c.RecoverAfter < 0 {
+		return fmt.Errorf("core: degrade thresholds K=%d J=%d must be non-negative",
+			c.DegradeAfter, c.RecoverAfter)
+	}
 	return c.Watermarks.Validate()
+}
+
+// SanityBounds derives plausibility limits for incoming samples from the
+// profile's watermarks: any reading an order of magnitude beyond the
+// highest actionable threshold is a glitched counter, not a workload.
+func (w Watermarks) SanityBounds() perfmon.Bounds {
+	return perfmon.Bounds{
+		MaxBW:      16 * w.SocketBWHigh,
+		MaxLatency: 64 * w.LatencyHigh,
+	}
 }
 
 // Decision records one control period's measurements and actions, feeding
@@ -188,6 +224,9 @@ type Runtime struct {
 	lowCores       int
 	lowPrefetchers int
 
+	guard  Guard
+	bounds perfmon.Bounds
+
 	history []Decision
 }
 
@@ -207,6 +246,8 @@ func New(n *node.Node, cfg Config) (*Runtime, error) {
 		cfg:          cfg,
 		lowPool:      n.Processor().SubdomainCores(cfg.Socket, cfg.LowSubdomain),
 		backfillPool: n.Processor().SubdomainCores(cfg.Socket, cfg.HighSubdomain),
+		guard:        NewGuard(cfg.DegradeAfter, cfg.RecoverAfter),
+		bounds:       cfg.Watermarks.SanityBounds(),
 	}
 	if cfg.MaxLowCores > r.lowPool.Len() {
 		return nil, fmt.Errorf("core: MaxLowCores %d exceeds subdomain's %d cores",
@@ -217,7 +258,9 @@ func New(n *node.Node, cfg Config) (*Runtime, error) {
 	r.lowCores = cfg.MaxLowCores
 	r.lowPrefetchers = cfg.MaxLowCores
 	r.backfillCores = cfg.MinBackfillCores
-	if err := r.enforce(); err != nil {
+	// Boot-time configuration happens before any injector is attached to
+	// the node (see node.SetFaults), so this write is never fault-gated.
+	if err := r.enforce(0); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -242,19 +285,68 @@ func (r *Runtime) LowCores() int { return r.lowCores }
 // LowPrefetchers returns the low group's enabled-prefetcher count.
 func (r *Runtime) LowPrefetchers() int { return r.lowPrefetchers }
 
-// Control implements sim.Controller: one iteration of Algorithm 1.
+// Degraded reports whether the runtime is in fail-safe mode.
+func (r *Runtime) Degraded() bool { return r.guard.Degraded() }
+
+// Guard returns a copy of the degradation watchdog's state.
+func (r *Runtime) Guard() Guard { return r.guard }
+
+// Control implements sim.Controller: one iteration of Algorithm 1,
+// hardened against a faulty signal path. Sensor readings are sanitized
+// before they are acted on and enforcement failures are scored instead of
+// crashing; after K consecutive faulted periods the runtime falls back to
+// a conservative static configuration (minimum low-priority cores,
+// prefetchers off, minimum backfill) and resumes closed-loop control only
+// after J consecutive clean periods.
 func (r *Runtime) Control(now float64) {
+	if r.n.Faults().Stall(now, "kelp") {
+		r.fault(now)
+		return
+	}
 	s := r.n.Monitor().Window()
 	if s.Elapsed == 0 {
+		// An empty window at startup is expected, not a fault.
+		return
+	}
+	s, dropped := r.n.Faults().PerturbSample(now, "kelp", s)
+	if dropped {
+		r.fault(now)
+		return
+	}
+	if err := s.Check(r.bounds); err != nil {
+		r.n.Events().Emit(now, events.SensorReject, "kelp", map[string]any{
+			"reason": err.Error(),
+		})
+		r.fault(now)
+		return
+	}
+	if r.guard.Degraded() {
+		// Re-assert the fail-safe configuration every period: a stuck
+		// actuator may have swallowed the previous attempt.
+		if err := r.enforceFailSafe(now); err != nil {
+			r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
+				"error": err.Error(),
+			})
+			r.guard.Fault()
+			return
+		}
+		r.clean(now)
 		return
 	}
 	d := r.decide(now, s)
 	r.configHiPriority(d.ActionHigh)
 	r.configLoPriority(d.ActionLow)
-	if err := r.enforce(); err != nil {
-		// Groups were validated at construction; failure here is a bug.
-		panic(fmt.Sprintf("core: enforce: %v", err))
+	if err := r.enforce(now); err != nil {
+		// Groups were validated at construction, so any failure here is
+		// the actuation path itself misbehaving: score it and hold the
+		// last applied configuration rather than crash the runtime.
+		r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
+			"error": err.Error(),
+		})
+		r.fault(now)
+		return
 	}
+	r.clean(now)
 	d.BackfillCores = r.backfillCores
 	d.LowCores = r.lowCores
 	d.LowPrefetchers = r.lowPrefetchers
@@ -272,6 +364,49 @@ func (r *Runtime) Control(now float64) {
 			"backfill_cores":  d.BackfillCores,
 		})
 	}
+}
+
+// fault scores one faulted control period; on the K-th consecutive one the
+// runtime enters fail-safe mode.
+func (r *Runtime) fault(now float64) {
+	if !r.guard.Fault() {
+		return
+	}
+	r.n.Events().Emit(now, events.DegradeEnter, "kelp", map[string]any{
+		"controller":         "kelp",
+		"consecutive_faults": r.guard.EnterAfter,
+	})
+	if err := r.enforceFailSafe(now); err != nil {
+		// Best effort: a stuck actuator may refuse even the fail-safe
+		// write. Control re-asserts it every degraded period.
+		r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
+			"error": err.Error(),
+		})
+	}
+}
+
+// clean scores one clean control period; on the J-th consecutive one while
+// degraded the runtime leaves fail-safe mode and closed-loop control
+// resumes from the fail-safe actuator values.
+func (r *Runtime) clean(now float64) {
+	if !r.guard.Clean() {
+		return
+	}
+	r.n.Events().Emit(now, events.DegradeExit, "kelp", map[string]any{
+		"controller":    "kelp",
+		"clean_periods": r.guard.ExitAfter,
+	})
+}
+
+// enforceFailSafe applies the conservative static configuration: the low
+// subdomain shrunk to its minimum core count with every prefetcher off,
+// and backfill at its floor — the CoreThrottle-like stance that protects
+// the accelerated task when the feedback loop cannot be trusted.
+func (r *Runtime) enforceFailSafe(now float64) error {
+	r.lowCores = r.cfg.MinLowCores
+	r.lowPrefetchers = 0
+	r.backfillCores = r.cfg.MinBackfillCores
+	return r.enforce(now)
 }
 
 // decide evaluates Algorithm 1's watermark comparisons.
@@ -362,13 +497,16 @@ func (r *Runtime) configLoPriority(a Action) {
 }
 
 // enforce pushes the current actuator values through the cgroup interface
-// (Algorithm 1, EnforceConfig).
-func (r *Runtime) enforce() error {
+// (Algorithm 1, EnforceConfig). Writes are routed through the node's fault
+// injector, which adds read-back verification and bounded retry when
+// attached and is an exact pass-through when not.
+func (r *Runtime) enforce(now float64) error {
+	inj := r.n.Faults()
 	cg := r.n.Cgroups()
-	if err := cg.SetCPUs(r.cfg.LowGroup, r.lowPool.Take(r.lowCores)); err != nil {
+	if err := inj.SetCPUs(now, cg, r.cfg.LowGroup, r.lowPool.Take(r.lowCores)); err != nil {
 		return err
 	}
-	if _, err := cg.SetPrefetchCount(r.cfg.LowGroup, r.lowPrefetchers); err != nil {
+	if err := inj.SetPrefetchCount(now, cg, r.cfg.LowGroup, r.lowPrefetchers); err != nil {
 		return err
 	}
 	if r.cfg.BackfillGroup != "" {
@@ -380,7 +518,7 @@ func (r *Runtime) enforce() error {
 			take = pool.Len()
 		}
 		set := append(cpu.Set(nil), pool[pool.Len()-take:]...)
-		if err := cg.SetCPUs(r.cfg.BackfillGroup, set); err != nil {
+		if err := inj.SetCPUs(now, cg, r.cfg.BackfillGroup, set); err != nil {
 			return err
 		}
 	}

@@ -30,7 +30,7 @@ type Type string
 
 // The event taxonomy. Sources are the emitting layers: "memsys" (the
 // memory fabric), "kelp" / "throttler" / "mba" (the policy controllers),
-// and "agent" (admission).
+// "agent" (admission), and "faults" (the fault injector).
 const (
 	// DistressAssert fires when a memory controller's utilization first
 	// exceeds the distress threshold and the FAST_ASSERTED signal begins
@@ -61,6 +61,33 @@ const (
 	AgentReject Type = "agent.reject"
 	// AgentEvict records a task eviction. Fields: task.
 	AgentEvict Type = "agent.evict"
+	// FaultSensor records an injected sensor fault (internal/faults):
+	// a dropped window, a stale replay, NaN poisoning, a counter spike,
+	// or distress flapping. Fields: controller, class, and per-class
+	// details (metric, magnitude, value).
+	FaultSensor Type = "fault.sensor"
+	// FaultActuator records an injected actuator fault: one enforcement
+	// write that failed, stuck, or applied partially. Fields: op, mode.
+	FaultActuator Type = "fault.actuator"
+	// FaultStall records an injected controller stall (a missed control
+	// period). Fields: controller.
+	FaultStall Type = "fault.stall"
+	// SensorReject fires when a controller's sample sanitizer refuses a
+	// reading (NaN, negative, out of range) and the controller holds its
+	// last good decision instead. Fields: reason.
+	SensorReject Type = "sensor.reject"
+	// ActuateError fires when an enforcement write still fails after
+	// read-back verification and bounded retry; the period counts toward
+	// the degradation watchdog. Fields: error.
+	ActuateError Type = "actuate.error"
+	// DegradeEnter fires when a controller's watchdog trips after K
+	// consecutive faulted periods and the controller enters fail-safe
+	// mode (conservative static allocation, prefetchers off). Fields:
+	// controller, consecutive_faults.
+	DegradeEnter Type = "degrade.enter"
+	// DegradeExit fires when the controller leaves fail-safe mode after
+	// J consecutive clean periods. Fields: controller, clean_periods.
+	DegradeExit Type = "degrade.exit"
 )
 
 // Types lists every event type in the taxonomy, in documentation order.
@@ -69,6 +96,8 @@ func Types() []Type {
 		DistressAssert, DistressDeassert, SaturationCross,
 		KelpActuate, ThrottlerActuate, MBAActuate,
 		AgentAdmit, AgentReject, AgentEvict,
+		FaultSensor, FaultActuator, FaultStall,
+		SensorReject, ActuateError, DegradeEnter, DegradeExit,
 	}
 }
 

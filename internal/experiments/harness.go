@@ -17,6 +17,7 @@ import (
 	"kelp/internal/accel"
 	"kelp/internal/cgroup"
 	"kelp/internal/events"
+	"kelp/internal/faults"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/sim"
@@ -148,6 +149,12 @@ type Scenario struct {
 	// measured results. Share one recorder across sequential runs only —
 	// concurrent runs would interleave their streams.
 	Events *events.Recorder
+	// Faults configures deterministic fault injection on the run's
+	// controller signal path. The zero Spec disables injection entirely
+	// (no injector is built, so the run is byte-identical to one before
+	// the faults package existed). Each run builds its own injector from
+	// the spec, so parallel sweeps stay deterministic per cell.
+	Faults faults.Spec
 }
 
 // Result carries one run's raw measurements.
@@ -163,6 +170,10 @@ type Result struct {
 	// KelpHistory / ThrottlerHistory expose actuator traces when the
 	// policy installed the corresponding controller.
 	Applied *policy.Applied
+	// Faults is the run's injector (nil when the scenario's spec is
+	// disabled), exposing per-class injection counts for resilience
+	// reporting.
+	Faults *faults.Injector
 }
 
 // NewCPUTask constructs a low-priority task for a spec; the index makes
@@ -269,6 +280,17 @@ func Run(s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The injector attaches after policy.Apply so boot-time configuration
+	// writes are never fault-gated: faults target the control loop, not
+	// construction.
+	var inj *faults.Injector
+	if s.Faults.Enabled() {
+		inj, err = faults.NewInjector(s.Faults)
+		if err != nil {
+			return nil, err
+		}
+		n.SetFaults(inj)
+	}
 	ml, err := buildML(n, s.ML, applied.ML)
 	if err != nil {
 		return nil, err
@@ -317,6 +339,7 @@ func Run(s Scenario) (*Result, error) {
 		MLThroughput: ml.Throughput(now),
 		PerTask:      make(map[string]float64, len(lowTasks)),
 		Applied:      applied,
+		Faults:       inj,
 	}
 	if inf, ok := ml.(*workload.Inference); ok {
 		res.MLTail = inf.TailLatency(0.95)

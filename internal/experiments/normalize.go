@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"kelp/internal/events"
+	"kelp/internal/faults"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/sim"
@@ -36,6 +37,12 @@ type Harness struct {
 	// never changes results, but a merged stream from concurrent cells
 	// interleaves nondeterministically: set Parallel = 1 when recording.
 	Events *events.Recorder
+	// Faults configures fault injection for every colocation run
+	// (standalone baselines stay fault-free — they are the normalization
+	// reference and must measure the workload, not the injector). Each run
+	// builds its own injector from the spec, so parallel sweeps remain
+	// deterministic per cell.
+	Faults faults.Spec
 
 	mu         sync.Mutex
 	standalone map[MLKind]*baselineEntry
@@ -137,6 +144,7 @@ func (h *Harness) RunNormalized(m MLKind, cpu []CPUSpec, k policy.Kind) (*NormRe
 		Warmup:  h.Warmup,
 		Measure: h.Measure,
 		Events:  h.Events,
+		Faults:  h.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s + %d CPU tasks under %s: %w", m, len(cpu), k, err)

@@ -1,0 +1,111 @@
+package httpd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// serve pushes one request through the mux and returns the recorded
+// response, skipping inputs that do not form a parseable request line.
+func serve(s *Server, method, target, body string) (*httptest.ResponseRecorder, bool) {
+	req, err := http.NewRequest(method, target, strings.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w, true
+}
+
+// FuzzEventsQuery throws arbitrary query strings at GET /events. Whatever
+// the cursor, filter, and limit parameters contain, the handler must not
+// panic and must answer 200 or 400 with a valid JSON body.
+func FuzzEventsQuery(f *testing.F) {
+	s, _ := newServer(f)
+	for _, seed := range []string{
+		"",
+		"since=0",
+		"since=18446744073709551615",
+		"since=-1",
+		"since=abc",
+		"limit=10",
+		"limit=0",
+		"limit=-5",
+		"limit=9999999999999999999999",
+		"type=kelp.actuate",
+		"type=distress.assert&type=kelp.actuate&since=3&limit=2",
+		"type=%00&since=%20",
+		"since=1&since=2",
+		"a=b&&&=x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		w, ok := serve(s, http.MethodGet, "/events?"+query, "")
+		if !ok {
+			t.Skip("unparseable request line")
+		}
+		if w.Code != http.StatusOK && w.Code != http.StatusBadRequest {
+			t.Fatalf("GET /events?%q = %d", query, w.Code)
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+			t.Fatalf("GET /events?%q: invalid JSON body %q: %v", query, w.Body.String(), err)
+		}
+		if w.Code == http.StatusOK {
+			if _, ok := v["next_since"]; !ok {
+				t.Fatalf("GET /events?%q: 200 body lacks next_since: %q", query, w.Body.String())
+			}
+		}
+	})
+}
+
+// FuzzFSPath throws arbitrary paths and bodies at the sysfs-style control
+// surface under /fs/ with every supported method. The handlers must not
+// panic and must always answer with valid JSON (the GET file dump is plain
+// text) and a sane status.
+func FuzzFSPath(f *testing.F) {
+	s, _ := newServer(f)
+	methods := []string{
+		http.MethodGet, http.MethodPut, http.MethodPost, http.MethodDelete,
+	}
+	for _, seed := range []struct {
+		m    uint8
+		path string
+		body string
+	}{
+		{0, "", ""},
+		{0, "cgroup", ""},
+		{0, "cgroup/low/cpuset.cpus", ""},
+		{0, "../../etc/passwd", ""},
+		{0, "a//b/./..", ""},
+		{1, "cgroup/low/cpuset.cpus", "0-3"},
+		{1, "cgroup/low/cpuset.cpus", "not a cpu list"},
+		{1, "\x00/\x01", "\xff"},
+		{2, "newdir", ""},
+		{2, "cgroup", ""},
+		{3, "newdir", ""},
+		{3, "cgroup/low", ""},
+	} {
+		f.Add(seed.m, seed.path, seed.body)
+	}
+	f.Fuzz(func(t *testing.T, m uint8, path, body string) {
+		method := methods[int(m)%len(methods)]
+		w, ok := serve(s, method, "/fs/"+path, body)
+		if !ok {
+			t.Skip("unparseable request line")
+		}
+		if w.Code < 200 || w.Code > 499 {
+			t.Fatalf("%s /fs/%q = %d", method, path, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); ct == "application/json" {
+			var v interface{}
+			if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+				t.Fatalf("%s /fs/%q: invalid JSON body %q: %v", method, path, w.Body.String(), err)
+			}
+		}
+	})
+}

@@ -82,8 +82,28 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// handleHealthz reports liveness plus the controller's degradation state:
+// a node whose control loop has fallen back to fail-safe mode is still
+// serving (the accelerated task keeps running under a conservative static
+// configuration) but reports "degraded" so the cluster scheduler can steer
+// new batch work elsewhere.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mu.Lock()
+	degraded := s.agent.Degraded()
+	var injected uint64
+	if inj := s.agent.Node().Faults(); inj != nil {
+		injected = inj.Total()
+	}
+	s.mu.Unlock()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":          status,
+		"degraded":        degraded,
+		"faults_injected": injected,
+	})
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {

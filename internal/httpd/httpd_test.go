@@ -13,7 +13,7 @@ import (
 	"kelp/internal/policy"
 )
 
-func newServer(t *testing.T) (*Server, *httptest.Server) {
+func newServer(t testing.TB) (*Server, *httptest.Server) {
 	t.Helper()
 	opts := policy.DefaultOptions()
 	opts.SamplePeriod = 0.1

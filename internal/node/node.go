@@ -11,6 +11,7 @@ import (
 	"kelp/internal/cgroup"
 	"kelp/internal/cpu"
 	"kelp/internal/events"
+	"kelp/internal/faults"
 	"kelp/internal/memsys"
 	"kelp/internal/perfmon"
 	"kelp/internal/sim"
@@ -114,6 +115,11 @@ type Node struct {
 	// actuations, agent admissions). Nil when no recorder is attached.
 	events *events.Recorder
 
+	// faults is the optional fault injector perturbing the sensor and
+	// actuator path of every controller on this node. Nil (the default)
+	// means a fault-free signal path.
+	faults *faults.Injector
+
 	// distressEWMA backs the hardware prefetch governor's smoothing.
 	distressEWMA map[int]float64
 }
@@ -185,6 +191,7 @@ func (n *Node) Engine() *sim.Engine { return n.engine }
 // detach.
 func (n *Node) SetEvents(rec *events.Recorder) {
 	n.events = rec
+	n.faults.SetRecorder(rec)
 	if rec == nil {
 		n.mem.SetEvents(nil, nil)
 		return
@@ -196,6 +203,20 @@ func (n *Node) SetEvents(rec *events.Recorder) {
 // is a valid (no-op) emit target even when nil, so controller layers call
 // n.Events().Emit without branching.
 func (n *Node) Events() *events.Recorder { return n.events }
+
+// SetFaults attaches a fault injector to the node's signal path; every
+// controller routes its sample reads and actuation writes through it. The
+// injector reports injected faults via the node's flight recorder. Pass
+// nil to restore the fault-free path.
+func (n *Node) SetFaults(inj *faults.Injector) {
+	n.faults = inj
+	inj.SetRecorder(n.events)
+}
+
+// Faults returns the attached injector, or nil. A nil injector is a valid
+// pass-through target for every faults method, so controllers call
+// n.Faults().PerturbSample etc. without branching.
+func (n *Node) Faults() *faults.Injector { return n.faults }
 
 // Now returns the current simulated time.
 func (n *Node) Now() sim.Time { return n.engine.Now() }

@@ -10,6 +10,7 @@ package perfmon
 
 import (
 	"fmt"
+	"math"
 
 	"kelp/internal/memsys"
 )
@@ -50,6 +51,65 @@ func (s Sample) SubdomainBW(socket, subdomain int) float64 {
 		return 0
 	}
 	return ctls[subdomain]
+}
+
+// Bounds are optional plausibility limits for Sample.Check, expressed in
+// the sample's own units. Zero fields disable the corresponding bound.
+// Controllers derive them from their watermarks so a glitched counter that
+// reads far outside any actionable range is rejected rather than acted on.
+type Bounds struct {
+	// MaxBW bounds every bandwidth reading (socket and per-controller),
+	// bytes/s.
+	MaxBW float64
+	// MaxLatency bounds every loaded-latency reading, seconds.
+	MaxLatency float64
+}
+
+// Check reports whether the sample is fit to act on: every reading must be
+// finite and non-negative, saturation must be a duty cycle in [0, 1], and
+// readings must fall inside the optional bounds. A controller that receives
+// an error here should hold its last good decision rather than actuate on
+// garbage (the paper's runtime trusts PMU deltas; a hardened one cannot).
+func (s Sample) Check(b Bounds) error {
+	checkVals := func(name string, vals []float64, max float64) error {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("perfmon: %s[%d] = %v", name, i, v)
+			}
+			if v < 0 {
+				return fmt.Errorf("perfmon: %s[%d] = %v is negative", name, i, v)
+			}
+			if max > 0 && v > max {
+				return fmt.Errorf("perfmon: %s[%d] = %v exceeds bound %v", name, i, v, max)
+			}
+		}
+		return nil
+	}
+	if math.IsNaN(s.Elapsed) || s.Elapsed < 0 {
+		return fmt.Errorf("perfmon: elapsed = %v", s.Elapsed)
+	}
+	if err := checkVals("socket_bw", s.SocketBW, b.MaxBW); err != nil {
+		return err
+	}
+	if err := checkVals("socket_latency", s.SocketLatency, b.MaxLatency); err != nil {
+		return err
+	}
+	for i, v := range s.SocketSaturation {
+		if math.IsNaN(v) || v < 0 || v > 1+1e-9 {
+			return fmt.Errorf("perfmon: saturation[%d] = %v outside [0, 1]", i, v)
+		}
+	}
+	for sock := range s.ControllerBW {
+		if err := checkVals(fmt.Sprintf("controller_bw[%d]", sock), s.ControllerBW[sock], b.MaxBW); err != nil {
+			return err
+		}
+	}
+	for sock := range s.ControllerLatency {
+		if err := checkVals(fmt.Sprintf("controller_latency[%d]", sock), s.ControllerLatency[sock], b.MaxLatency); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SubdomainLatency returns the sampled loaded latency of (socket,

@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"kelp/internal/core"
+	"kelp/internal/events"
+	"kelp/internal/node"
+	"kelp/internal/perfmon"
+)
+
+// degradeState bundles the degradation watchdog with its event emission
+// for the baseline controllers (CoreThrottle, MBA, SLO). The Kelp runtime
+// in internal/core carries the same machinery inline; this keeps the three
+// policy controllers from each reimplementing it.
+type degradeState struct {
+	name  string
+	guard core.Guard
+}
+
+func newDegradeState(name string, k, j int) degradeState {
+	return degradeState{name: name, guard: core.NewGuard(k, j)}
+}
+
+// fault scores one faulted period and reports whether the controller just
+// entered fail-safe mode (emitting degrade.enter when it did). The caller
+// applies its own fail-safe configuration on a true return.
+func (d *degradeState) fault(n *node.Node, now float64) (entered bool) {
+	if !d.guard.Fault() {
+		return false
+	}
+	n.Events().Emit(now, events.DegradeEnter, d.name, map[string]any{
+		"controller":         d.name,
+		"consecutive_faults": d.guard.EnterAfter,
+	})
+	return true
+}
+
+// clean scores one clean period, emitting degrade.exit when the controller
+// just recovered.
+func (d *degradeState) clean(n *node.Node, now float64) (exited bool) {
+	if !d.guard.Clean() {
+		return false
+	}
+	n.Events().Emit(now, events.DegradeExit, d.name, map[string]any{
+		"controller":    d.name,
+		"clean_periods": d.guard.ExitAfter,
+	})
+	return true
+}
+
+// reject emits sensor.reject for a sample the sanitizer refused.
+func (d *degradeState) reject(n *node.Node, now float64, err error) {
+	n.Events().Emit(now, events.SensorReject, d.name, map[string]any{
+		"reason": err.Error(),
+	})
+}
+
+// actuateError emits actuate.error for an enforcement write that failed
+// after read-back verification and retry.
+func (d *degradeState) actuateError(n *node.Node, now float64, err error) {
+	n.Events().Emit(now, events.ActuateError, d.name, map[string]any{
+		"error": err.Error(),
+	})
+}
+
+// sanityBounds derives sample plausibility limits from the throttler-style
+// watermarks, mirroring core.Watermarks.SanityBounds.
+func (w ThrottlerWatermarks) sanityBounds() perfmon.Bounds {
+	return perfmon.Bounds{
+		MaxBW:      16 * w.SocketBWHigh,
+		MaxLatency: 64 * w.LatencyHigh,
+	}
+}

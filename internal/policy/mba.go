@@ -5,6 +5,7 @@ import (
 
 	"kelp/internal/events"
 	"kelp/internal/node"
+	"kelp/internal/perfmon"
 )
 
 // MBADecision records one control period of the MBA controller.
@@ -21,7 +22,15 @@ type MBAControllerConfig struct {
 	Group        string
 	Watermarks   ThrottlerWatermarks
 	SamplePeriod float64
+	// DegradeAfter / RecoverAfter are the watchdog thresholds; 0 selects
+	// the core package defaults.
+	DegradeAfter, RecoverAfter int
 }
+
+// FailSafeMBAPercent is the throttle level pinned while the MBA controller
+// is in fail-safe mode: the hardest rate limit MBA offers, protecting the
+// accelerated task at the cost of batch throughput.
+const FailSafeMBAPercent = 10
 
 // MBAController throttles the low-priority group's memory request rate via
 // Intel MBA (paper §VI-D) instead of revoking cores: the same watermark
@@ -34,6 +43,8 @@ type MBAController struct {
 	n       *node.Node
 	cfg     MBAControllerConfig
 	cur     int
+	deg     degradeState
+	bounds  perfmon.Bounds
 	history []MBADecision
 }
 
@@ -48,7 +59,17 @@ func NewMBAController(n *node.Node, cfg MBAControllerConfig) (*MBAController, er
 	if cfg.SamplePeriod <= 0 {
 		return nil, fmt.Errorf("policy: SamplePeriod = %v", cfg.SamplePeriod)
 	}
-	c := &MBAController{n: n, cfg: cfg, cur: 100}
+	if cfg.DegradeAfter < 0 || cfg.RecoverAfter < 0 {
+		return nil, fmt.Errorf("policy: mba degrade thresholds K=%d J=%d",
+			cfg.DegradeAfter, cfg.RecoverAfter)
+	}
+	c := &MBAController{
+		n:      n,
+		cfg:    cfg,
+		cur:    100,
+		deg:    newDegradeState("mba", cfg.DegradeAfter, cfg.RecoverAfter),
+		bounds: cfg.Watermarks.sanityBounds(),
+	}
 	if err := n.Cgroups().SetMBA(cfg.Group, c.cur); err != nil {
 		return nil, err
 	}
@@ -58,15 +79,43 @@ func NewMBAController(n *node.Node, cfg MBAControllerConfig) (*MBAController, er
 // Percent returns the current MBA throttle level.
 func (c *MBAController) Percent() int { return c.cur }
 
+// Degraded reports whether the controller is in fail-safe mode.
+func (c *MBAController) Degraded() bool { return c.deg.guard.Degraded() }
+
 // History returns a copy of the per-period decision trace.
 func (c *MBAController) History() []MBADecision {
 	return append([]MBADecision(nil), c.history...)
 }
 
-// Control implements sim.Controller.
+// Control implements sim.Controller, hardened like the other controllers:
+// sanitized samples, scored enforcement failures, and a fail-safe mode
+// that pins the hardest MBA throttle after K consecutive faulted periods.
 func (c *MBAController) Control(now float64) {
+	if c.n.Faults().Stall(now, "mba") {
+		c.fault(now)
+		return
+	}
 	s := c.n.Monitor().Window()
 	if s.Elapsed == 0 {
+		return
+	}
+	s, dropped := c.n.Faults().PerturbSample(now, "mba", s)
+	if dropped {
+		c.fault(now)
+		return
+	}
+	if err := s.Check(c.bounds); err != nil {
+		c.deg.reject(c.n, now, err)
+		c.fault(now)
+		return
+	}
+	if c.deg.guard.Degraded() {
+		if err := c.enforceFailSafe(now); err != nil {
+			c.deg.actuateError(c.n, now, err)
+			c.deg.guard.Fault()
+			return
+		}
+		c.deg.clean(c.n, now)
 		return
 	}
 	bw := s.SocketBW[c.cfg.Socket]
@@ -82,13 +131,38 @@ func (c *MBAController) Control(now float64) {
 			c.cur += 10
 		}
 	}
-	if err := c.n.Cgroups().SetMBA(c.cfg.Group, c.cur); err != nil {
-		panic(fmt.Sprintf("policy: mba enforce: %v", err))
+	if err := c.enforce(now); err != nil {
+		c.deg.actuateError(c.n, now, err)
+		c.fault(now)
+		return
 	}
+	c.deg.clean(c.n, now)
 	c.history = append(c.history, MBADecision{Time: now, SocketBW: bw, Latency: lat, Percent: c.cur})
 	if rec := c.n.Events(); rec != nil {
 		rec.Emit(now, events.MBAActuate, "mba", map[string]any{
 			"socket_bw": bw, "latency": lat, "percent": c.cur,
 		})
+	}
+}
+
+// enforce pushes the current throttle level through the (possibly
+// fault-gated) cgroup interface.
+func (c *MBAController) enforce(now float64) error {
+	return c.n.Faults().SetMBA(now, c.n.Cgroups(), c.cfg.Group, c.cur)
+}
+
+// enforceFailSafe pins the hardest throttle level.
+func (c *MBAController) enforceFailSafe(now float64) error {
+	c.cur = FailSafeMBAPercent
+	return c.enforce(now)
+}
+
+// fault scores one faulted period, entering fail-safe after K in a row.
+func (c *MBAController) fault(now float64) {
+	if !c.deg.fault(c.n, now) {
+		return
+	}
+	if err := c.enforceFailSafe(now); err != nil {
+		c.deg.actuateError(c.n, now, err)
 	}
 }

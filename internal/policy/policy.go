@@ -92,6 +92,10 @@ type Options struct {
 	// conservative defaults). This is how a per-application profile
 	// (internal/profile) reaches the runtime.
 	Watermarks *core.Watermarks
+	// DegradeAfter / RecoverAfter are the controllers' degradation
+	// watchdog thresholds (K faulted periods to enter fail-safe, J clean
+	// ones to leave); 0 selects the core package defaults.
+	DegradeAfter, RecoverAfter int
 }
 
 // DefaultOptions returns the evaluation defaults: 6 ML cores, 4 dedicated
@@ -136,6 +140,10 @@ func (o Options) Validate(n *node.Node) error {
 			return err
 		}
 	}
+	if o.DegradeAfter < 0 || o.RecoverAfter < 0 {
+		return fmt.Errorf("policy: degrade thresholds K=%d J=%d must be non-negative",
+			o.DegradeAfter, o.RecoverAfter)
+	}
 	return nil
 }
 
@@ -158,6 +166,23 @@ type Applied struct {
 	Throttler *Throttler
 	// MBA is the MBA rate controller (MBAThrottle only).
 	MBA *MBAController
+}
+
+// Degraded reports whether the policy's controller (if any) is currently
+// in fail-safe mode.
+func (a *Applied) Degraded() bool {
+	if a == nil {
+		return false
+	}
+	switch {
+	case a.Runtime != nil:
+		return a.Runtime.Degraded()
+	case a.Throttler != nil:
+		return a.Throttler.Degraded()
+	case a.MBA != nil:
+		return a.MBA.Degraded()
+	}
+	return false
 }
 
 // Apply configures the node for the policy and registers its controller
@@ -248,6 +273,8 @@ func Apply(n *node.Node, k Kind, o Options) (*Applied, error) {
 				Group:        LowGroup,
 				Watermarks:   DefaultThrottlerWatermarks(memCfg.SocketBW(), memCfg.BaseLatency),
 				SamplePeriod: o.SamplePeriod,
+				DegradeAfter: o.DegradeAfter,
+				RecoverAfter: o.RecoverAfter,
 			})
 			if err != nil {
 				return nil, err
@@ -273,6 +300,8 @@ func Apply(n *node.Node, k Kind, o Options) (*Applied, error) {
 				MaxCores:     lowPool.Len(),
 				Watermarks:   DefaultThrottlerWatermarks(memCfg.SocketBW(), memCfg.BaseLatency),
 				SamplePeriod: o.SamplePeriod,
+				DegradeAfter: o.DegradeAfter,
+				RecoverAfter: o.RecoverAfter,
 			})
 			if err != nil {
 				return nil, err
@@ -321,6 +350,8 @@ func Apply(n *node.Node, k Kind, o Options) (*Applied, error) {
 			MinLowCores:   o.MinLowCores,
 			MaxLowCores:   loCores.Len(),
 			SamplePeriod:  o.SamplePeriod,
+			DegradeAfter:  o.DegradeAfter,
+			RecoverAfter:  o.RecoverAfter,
 		}
 		if k == Kelp {
 			if err := mkGroup(BackfillGroup, cgroup.Low); err != nil {

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"math"
 
 	"kelp/internal/cpu"
 	"kelp/internal/node"
@@ -29,6 +30,9 @@ type SLOControllerConfig struct {
 	// Headroom is the fraction of the target below which the controller
 	// grows the low-priority allocation again (Heracles' "slack").
 	Headroom float64
+	// DegradeAfter / RecoverAfter are the watchdog thresholds; 0 selects
+	// the core package defaults.
+	DegradeAfter, RecoverAfter int
 }
 
 // SLOController is a latency-target feedback loop in the style of Heracles
@@ -41,6 +45,7 @@ type SLOController struct {
 	n       *node.Node
 	cfg     SLOControllerConfig
 	cur     int
+	deg     degradeState
 	history []SLODecision
 }
 
@@ -68,7 +73,16 @@ func NewSLOController(n *node.Node, cfg SLOControllerConfig) (*SLOController, er
 	if cfg.Headroom <= 0 || cfg.Headroom >= 1 {
 		return nil, fmt.Errorf("policy: Headroom = %v not in (0,1)", cfg.Headroom)
 	}
-	c := &SLOController{n: n, cfg: cfg, cur: cfg.MaxCores}
+	if cfg.DegradeAfter < 0 || cfg.RecoverAfter < 0 {
+		return nil, fmt.Errorf("policy: SLO degrade thresholds K=%d J=%d",
+			cfg.DegradeAfter, cfg.RecoverAfter)
+	}
+	c := &SLOController{
+		n:   n,
+		cfg: cfg,
+		cur: cfg.MaxCores,
+		deg: newDegradeState("slo", cfg.DegradeAfter, cfg.RecoverAfter),
+	}
 	if err := n.Cgroups().SetCPUs(cfg.Group, cfg.Pool.Take(c.cur)); err != nil {
 		return nil, err
 	}
@@ -78,14 +92,39 @@ func NewSLOController(n *node.Node, cfg SLOControllerConfig) (*SLOController, er
 // Cores returns the currently granted core count.
 func (c *SLOController) Cores() int { return c.cur }
 
+// Degraded reports whether the controller is in fail-safe mode.
+func (c *SLOController) Degraded() bool { return c.deg.guard.Degraded() }
+
 // History returns per-period decisions (do not mutate).
 func (c *SLOController) History() []SLODecision { return c.history }
 
-// Control implements sim.Controller.
+// Control implements sim.Controller. The SLO controller reads the
+// protected server's tail latency rather than the PMU, so sensor
+// perturbation does not apply; it still sanitizes the tail reading, routes
+// its core writes through the fault gate, and degrades to the minimum
+// grant after K consecutive faulted periods.
 func (c *SLOController) Control(now float64) {
+	if c.n.Faults().Stall(now, "slo") {
+		c.fault(now)
+		return
+	}
 	tail := c.cfg.Server.WindowTailLatency(0.95)
 	if tail == 0 {
 		return // no completions in the window: nothing to react to
+	}
+	if math.IsNaN(tail) || math.IsInf(tail, 0) || tail < 0 {
+		c.deg.reject(c.n, now, fmt.Errorf("policy: tail p95 = %v", tail))
+		c.fault(now)
+		return
+	}
+	if c.deg.guard.Degraded() {
+		if err := c.enforceFailSafe(now); err != nil {
+			c.deg.actuateError(c.n, now, err)
+			c.deg.guard.Fault()
+			return
+		}
+		c.deg.clean(c.n, now)
+		return
 	}
 	switch {
 	case tail > c.cfg.TargetP95:
@@ -100,8 +139,33 @@ func (c *SLOController) Control(now float64) {
 			c.cur++
 		}
 	}
-	if err := c.n.Cgroups().SetCPUs(c.cfg.Group, c.cfg.Pool.Take(c.cur)); err != nil {
-		panic(fmt.Sprintf("policy: slo enforce: %v", err))
+	if err := c.enforce(now); err != nil {
+		c.deg.actuateError(c.n, now, err)
+		c.fault(now)
+		return
 	}
+	c.deg.clean(c.n, now)
 	c.history = append(c.history, SLODecision{Time: now, TailP95: tail, Cores: c.cur})
+}
+
+// enforce pushes the current grant through the (possibly fault-gated)
+// cgroup interface.
+func (c *SLOController) enforce(now float64) error {
+	return c.n.Faults().SetCPUs(now, c.n.Cgroups(), c.cfg.Group, c.cfg.Pool.Take(c.cur))
+}
+
+// enforceFailSafe pins the minimum core grant.
+func (c *SLOController) enforceFailSafe(now float64) error {
+	c.cur = c.cfg.MinCores
+	return c.enforce(now)
+}
+
+// fault scores one faulted period, entering fail-safe after K in a row.
+func (c *SLOController) fault(now float64) {
+	if !c.deg.fault(c.n, now) {
+		return
+	}
+	if err := c.enforceFailSafe(now); err != nil {
+		c.deg.actuateError(c.n, now, err)
+	}
 }

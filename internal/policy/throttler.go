@@ -6,6 +6,7 @@ import (
 	"kelp/internal/cpu"
 	"kelp/internal/events"
 	"kelp/internal/node"
+	"kelp/internal/perfmon"
 )
 
 // ThrottlerWatermarks are CoreThrottle's thresholds. Prior work (Heracles,
@@ -36,6 +37,10 @@ type ThrottlerConfig struct {
 	MaxCores     int
 	Watermarks   ThrottlerWatermarks
 	SamplePeriod float64
+	// DegradeAfter / RecoverAfter are the watchdog thresholds (K faulted
+	// periods to enter fail-safe, J clean ones to leave); 0 selects the
+	// core package defaults.
+	DegradeAfter, RecoverAfter int
 }
 
 // ThrottlerDecision records one control period for the actuator plots
@@ -54,6 +59,8 @@ type Throttler struct {
 	n       *node.Node
 	cfg     ThrottlerConfig
 	cur     int
+	deg     degradeState
+	bounds  perfmon.Bounds
 	history []ThrottlerDecision
 }
 
@@ -75,7 +82,17 @@ func NewThrottler(n *node.Node, cfg ThrottlerConfig) (*Throttler, error) {
 	if cfg.SamplePeriod <= 0 {
 		return nil, fmt.Errorf("policy: SamplePeriod = %v", cfg.SamplePeriod)
 	}
-	t := &Throttler{n: n, cfg: cfg, cur: cfg.MaxCores}
+	if cfg.DegradeAfter < 0 || cfg.RecoverAfter < 0 {
+		return nil, fmt.Errorf("policy: throttler degrade thresholds K=%d J=%d",
+			cfg.DegradeAfter, cfg.RecoverAfter)
+	}
+	t := &Throttler{
+		n:      n,
+		cfg:    cfg,
+		cur:    cfg.MaxCores,
+		deg:    newDegradeState("throttler", cfg.DegradeAfter, cfg.RecoverAfter),
+		bounds: cfg.Watermarks.sanityBounds(),
+	}
 	if err := n.Cgroups().SetCPUs(cfg.Group, cfg.Pool.Take(t.cur)); err != nil {
 		return nil, err
 	}
@@ -85,15 +102,44 @@ func NewThrottler(n *node.Node, cfg ThrottlerConfig) (*Throttler, error) {
 // Cores returns the currently granted core count.
 func (t *Throttler) Cores() int { return t.cur }
 
+// Degraded reports whether the controller is in fail-safe mode.
+func (t *Throttler) Degraded() bool { return t.deg.guard.Degraded() }
+
 // History returns a copy of the per-period decision trace.
 func (t *Throttler) History() []ThrottlerDecision {
 	return append([]ThrottlerDecision(nil), t.history...)
 }
 
-// Control implements sim.Controller.
+// Control implements sim.Controller, hardened against a faulty signal
+// path: samples are sanitized before use, enforcement failures are scored
+// instead of crashing, and after K consecutive faulted periods the
+// controller pins the minimum core grant until J clean periods pass.
 func (t *Throttler) Control(now float64) {
+	if t.n.Faults().Stall(now, "throttler") {
+		t.fault(now)
+		return
+	}
 	s := t.n.Monitor().Window()
 	if s.Elapsed == 0 {
+		return
+	}
+	s, dropped := t.n.Faults().PerturbSample(now, "throttler", s)
+	if dropped {
+		t.fault(now)
+		return
+	}
+	if err := s.Check(t.bounds); err != nil {
+		t.deg.reject(t.n, now, err)
+		t.fault(now)
+		return
+	}
+	if t.deg.guard.Degraded() {
+		if err := t.enforceFailSafe(now); err != nil {
+			t.deg.actuateError(t.n, now, err)
+			t.deg.guard.Fault()
+			return
+		}
+		t.deg.clean(t.n, now)
 		return
 	}
 	bw := s.SocketBW[t.cfg.Socket]
@@ -109,9 +155,12 @@ func (t *Throttler) Control(now float64) {
 			t.cur++
 		}
 	}
-	if err := t.n.Cgroups().SetCPUs(t.cfg.Group, t.cfg.Pool.Take(t.cur)); err != nil {
-		panic(fmt.Sprintf("policy: throttler enforce: %v", err))
+	if err := t.enforce(now); err != nil {
+		t.deg.actuateError(t.n, now, err)
+		t.fault(now)
+		return
 	}
+	t.deg.clean(t.n, now)
 	t.history = append(t.history, ThrottlerDecision{
 		Time: now, SocketBW: bw, Latency: lat, Cores: t.cur,
 	})
@@ -119,5 +168,28 @@ func (t *Throttler) Control(now float64) {
 		rec.Emit(now, events.ThrottlerActuate, "throttler", map[string]any{
 			"socket_bw": bw, "latency": lat, "cores": t.cur,
 		})
+	}
+}
+
+// enforce pushes the current grant through the (possibly fault-gated)
+// cgroup interface.
+func (t *Throttler) enforce(now float64) error {
+	return t.n.Faults().SetCPUs(now, t.n.Cgroups(), t.cfg.Group, t.cfg.Pool.Take(t.cur))
+}
+
+// enforceFailSafe pins the minimum core grant — the conservative stance
+// while the feedback loop cannot be trusted.
+func (t *Throttler) enforceFailSafe(now float64) error {
+	t.cur = t.cfg.MinCores
+	return t.enforce(now)
+}
+
+// fault scores one faulted period, entering fail-safe after K in a row.
+func (t *Throttler) fault(now float64) {
+	if !t.deg.fault(t.n, now) {
+		return
+	}
+	if err := t.enforceFailSafe(now); err != nil {
+		t.deg.actuateError(t.n, now, err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"kelp/internal/core"
@@ -66,6 +67,13 @@ func (p Profile) Validate() error {
 		{"latency", w.LatencyHighX, w.LatencyLowX},
 		{"saturation", w.SaturationHigh, w.SaturationLow},
 	} {
+		// NaN compares false against everything, so it would sail through
+		// the ordering checks below and wedge the control loop at NOP;
+		// reject malformed profiles here, at admission.
+		if math.IsNaN(c.hi) || math.IsNaN(c.low) || math.IsInf(c.hi, 0) || math.IsInf(c.low, 0) {
+			return fmt.Errorf("profile %s: %s watermarks hi=%v low=%v are not finite",
+				p.Name, c.name, c.hi, c.low)
+		}
 		if c.hi <= 0 || c.low < 0 || c.hi <= c.low {
 			return fmt.Errorf("profile %s: %s watermarks hi=%v low=%v", p.Name, c.name, c.hi, c.low)
 		}
@@ -82,7 +90,7 @@ func (p Profile) Validate() error {
 	if p.MaxBackfillCores < 0 {
 		return fmt.Errorf("profile %s: max_backfill_cores = %d", p.Name, p.MaxBackfillCores)
 	}
-	if p.SamplePeriodSec <= 0 {
+	if math.IsNaN(p.SamplePeriodSec) || p.SamplePeriodSec <= 0 {
 		return fmt.Errorf("profile %s: sample_period_sec = %v", p.Name, p.SamplePeriodSec)
 	}
 	return nil

@@ -143,3 +143,60 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("Names = %v", r.Names())
 	}
 }
+
+// NaN compares false against every ordering check, so a NaN watermark
+// would previously sail through Validate and wedge the control loop at
+// NOP. Malformed profiles must be rejected at admission.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"NaN hi frac", func(p *Profile) { p.Watermarks.SocketBWHighFrac = math.NaN() }},
+		{"NaN low frac", func(p *Profile) { p.Watermarks.SocketBWLowFrac = math.NaN() }},
+		{"NaN latency", func(p *Profile) { p.Watermarks.LatencyHighX = math.NaN() }},
+		{"NaN saturation", func(p *Profile) { p.Watermarks.SaturationLow = math.NaN() }},
+		{"Inf latency", func(p *Profile) { p.Watermarks.LatencyHighX = math.Inf(1) }},
+		{"-Inf low", func(p *Profile) { p.Watermarks.HiPriorityBWLowFrac = math.Inf(-1) }},
+		{"NaN period", func(p *Profile) { p.SamplePeriodSec = math.NaN() }},
+	}
+	for _, m := range mutations {
+		p := Default("x")
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+// The registry is the admission point for scheduler-shipped profiles: Put
+// must refuse malformed ones so they never reach a controller.
+func TestRegistryRejectsMalformed(t *testing.T) {
+	r := NewRegistry()
+	bad := Default("evil")
+	bad.Watermarks.LatencyHighX = math.NaN()
+	if err := r.Put(bad); err == nil {
+		t.Fatal("registry admitted a NaN profile")
+	}
+	// The rejected profile must not shadow the conservative default.
+	got := r.Get("evil")
+	if math.IsNaN(got.Watermarks.LatencyHighX) {
+		t.Error("rejected profile was stored anyway")
+	}
+	inverted := Default("inv")
+	inverted.Watermarks.SocketBWLowFrac = inverted.Watermarks.SocketBWHighFrac + 0.1
+	if err := r.Put(inverted); err == nil {
+		t.Error("registry admitted inverted watermarks")
+	}
+	negative := Default("neg")
+	negative.MinLowCores = -3
+	if err := r.Put(negative); err == nil {
+		t.Error("registry admitted negative min_low_cores")
+	}
+	if err := r.Put(Default("good")); err != nil {
+		t.Errorf("registry rejected a valid profile: %v", err)
+	}
+	if len(r.Names()) != 1 {
+		t.Errorf("registry holds %d profiles, want 1", len(r.Names()))
+	}
+}
