@@ -22,6 +22,13 @@
 // controller signal path (standalone baselines stay fault-free), and
 // -exp resilience runs the dedicated fault-injection study (opt-in, not
 // part of 'all'); see docs/RESILIENCE.md.
+//
+// -exp clusterfaults runs the cluster fault-tolerance study (also
+// opt-in): lock-step training clusters under injected worker crashes,
+// hangs and interference escalation, with checkpoint/restore recovery —
+// reporting goodput, wasted-step fraction and recovery time per isolation
+// policy. -cfaults spec replaces the standard regimes with a custom one
+// (same -faultseed-rooted determinism); see docs/CLUSTER.md.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"kelp/internal/clusterfaults"
 	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/faults"
@@ -46,7 +54,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent scenario cells (0 = one per CPU, 1 = serial)")
 	eventsPath := flag.String("events", "", "write flight-recorder events as JSONL (forces -parallel 1)")
 	faultsFlag := flag.String("faults", "", "fault injection spec applied to every colocation run (see docs/RESILIENCE.md)")
-	faultSeed := flag.Uint64("faultseed", 42, "PRNG seed for the resilience study's fault regimes")
+	faultSeed := flag.Uint64("faultseed", 42, "PRNG seed for the resilience and clusterfaults studies' fault regimes")
+	cfaultsFlag := flag.String("cfaults", "", "custom cluster fault spec for -exp clusterfaults (see docs/CLUSTER.md)")
 	flag.Parse()
 
 	if *outdir != "" {
@@ -84,6 +93,11 @@ func main() {
 		os.Exit(2)
 	}
 	h.Faults = spec
+	cspec, err := clusterfaults.ParseSpec(*cfaultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kelpbench:", err)
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -236,6 +250,25 @@ func main() {
 		}
 		if err := emit("resilience", experiments.ResilienceTable(rows)); err != nil {
 			fmt.Fprintf(os.Stderr, "kelpbench: resilience: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// The cluster fault-tolerance study is opt-in for the same reason:
+	// the default sweep never builds a cluster injector.
+	if want["clusterfaults"] {
+		ran++
+		var custom *clusterfaults.Spec
+		if strings.TrimSpace(*cfaultsFlag) != "" {
+			custom = &cspec
+		}
+		rows, err := experiments.ClusterFaults(h, *faultSeed, custom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: clusterfaults: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emit("clusterfaults", experiments.ClusterFaultsTable(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: clusterfaults: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -185,9 +185,14 @@ func (a *Agent) AdmitBatch(t workload.Task) error {
 }
 
 // Evict removes a task by name. Evicting the accelerated task frees the
-// slot for a new one, but the policy configuration remains.
+// slot for a new one, but the policy configuration remains. A failed
+// eviction is recorded too — an agent.evict event carrying the error —
+// so the flight recorder shows the attempt, not just successes.
 func (a *Agent) Evict(name string) error {
 	if err := a.n.RemoveTask(name); err != nil {
+		a.emit(events.AgentEvict, map[string]any{
+			"task": name, "error": err.Error(),
+		})
 		return err
 	}
 	if name == a.mlName {

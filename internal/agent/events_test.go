@@ -90,6 +90,33 @@ func TestEvictIsRecorded(t *testing.T) {
 	}
 }
 
+func TestFailedEvictIsRecorded(t *testing.T) {
+	a := testAgent(t, policy.Baseline)
+	if err := a.AdmitML(cnn1(t), 2); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Evict("no-such-task")
+	if err == nil {
+		t.Fatal("evicting an unknown task succeeded")
+	}
+	// The failed attempt shows up in the flight recorder too, carrying the
+	// error — not just successful evictions.
+	evicts := a.Events().Since(0, events.AgentEvict)
+	if len(evicts) != 1 {
+		t.Fatalf("evicts = %+v", evicts)
+	}
+	if evicts[0].Fields["task"] != "no-such-task" {
+		t.Errorf("evict fields = %+v", evicts[0].Fields)
+	}
+	if msg, _ := evicts[0].Fields["error"].(string); msg != err.Error() {
+		t.Errorf("evict error field = %q, want %q", msg, err.Error())
+	}
+	// The failure left the admitted task in place.
+	if a.MLTask() != "CNN1" {
+		t.Errorf("MLTask = %q after failed evict", a.MLTask())
+	}
+}
+
 func TestEventCapacityOption(t *testing.T) {
 	a, err := New(Config{
 		Node:          node.DefaultConfig(),

@@ -7,15 +7,31 @@
 //
 // Each worker is simulated as an independent node (deterministic, seeded);
 // the lock-step barrier is composed afterwards from the workers' recorded
-// step-completion times.
+// step-completion times. Worker simulations are embarrassingly parallel
+// and fan out across internal/pool's bounded worker pool; results are
+// collected in input order, so output is byte-identical at any
+// parallelism.
+//
+// On top of the fault-free composition, the package carries a
+// fault-tolerant lock-step runtime (recovery.go): internal/clusterfaults
+// injects worker crashes, barrier hangs and mid-run interference
+// escalation, and the recovery layer answers with periodic checkpointing,
+// a barrier timeout with a configurable straggler policy, and bounded
+// restart retry with backoff — turning the reproduction into a goodput
+// study (useful steps per wall-clock second net of downtime and rework).
+// With a disabled fault spec the runtime never engages and Run's results
+// are byte-identical to the fault-free composition.
 package cluster
 
 import (
 	"fmt"
 
+	"kelp/internal/clusterfaults"
+	"kelp/internal/events"
 	"kelp/internal/metrics"
 	"kelp/internal/node"
 	"kelp/internal/policy"
+	"kelp/internal/pool"
 	"kelp/internal/sim"
 	"kelp/internal/workload"
 )
@@ -45,6 +61,29 @@ type Config struct {
 	// MakeTask constructs the per-worker training task (for example
 	// workload.NewCNN3).
 	MakeTask func() (*workload.Training, error)
+	// Parallel bounds how many worker simulations run concurrently
+	// (0 = one per available CPU, 1 = serial). Every worker owns a fresh
+	// node with its own seeded RNG streams and results are collected in
+	// input order, so output is identical at any setting.
+	Parallel int
+	// Faults injects cluster-level failures — worker crash/restart,
+	// barrier hangs, mid-run interference escalation — into the lock-step
+	// composition. The zero Spec disables injection entirely: the
+	// fault-tolerant runtime never engages and Run's results are
+	// byte-identical to the plain composition.
+	Faults clusterfaults.Spec
+	// Recovery parameterizes the defensive layer (checkpoint cadence,
+	// straggler policy, restart retry). The zero value selects
+	// DefaultRecovery; only consulted when Faults is enabled.
+	Recovery RecoveryConfig
+	// Horizon is the simulated cluster wall-clock the fault-tolerant
+	// replay covers, seconds; 0 selects DefaultHorizon. Only consulted
+	// when Faults is enabled.
+	Horizon sim.Duration
+	// Events, when non-nil, receives cluster-sourced flight-recorder
+	// events (worker.crash, worker.restart, checkpoint.save, ...). The
+	// recorder is passive: attaching one never changes results.
+	Events *events.Recorder
 }
 
 // Validate reports whether the configuration is usable.
@@ -60,6 +99,15 @@ func (c Config) Validate() error {
 	}
 	if c.MakeTask == nil {
 		return fmt.Errorf("cluster: MakeTask required")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("cluster: horizon = %v, want >= 0", c.Horizon)
 	}
 	return c.Node.Validate()
 }
@@ -85,26 +133,68 @@ type Result struct {
 	// Amplification is the service-level slowdown versus the mean worker:
 	// mean worker rate / lock-step rate (>= 1; the tail-at-scale factor).
 	Amplification float64
+	// Faults carries the fault-tolerant runtime's outcome (goodput,
+	// wasted work, recovery times). Nil unless Config.Faults is enabled,
+	// so fault-free results stay byte-identical to the plain composition.
+	Faults *FaultReport
 }
 
-// Run simulates all workers and composes the lock-step service rate.
+// workerSim is one worker's simulation outcome plus the step-duration
+// series the fault-tolerant replay consumes.
+type workerSim struct {
+	WorkerResult
+	// durs are per-step durations derived from StepTimes, cycled by the
+	// replay to extend the schedule to the horizon.
+	durs []float64
+	// degDurs is the same worker re-simulated under escalated
+	// interference (nil unless the spec enables degrade faults).
+	degDurs []float64
+}
+
+// Run simulates all workers and composes the lock-step service rate. When
+// the fault spec is enabled, the fault-tolerant runtime then replays the
+// lock-step schedule under injected failures and attaches a FaultReport.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	for i, spec := range cfg.Workers {
-		w, err := runWorker(cfg, i, spec)
+	needDegraded := cfg.Faults.Degrade > 0
+	sims, err := pool.Collect(cfg.Parallel, len(cfg.Workers), func(i int) (*workerSim, error) {
+		w, err := runWorker(cfg, i, cfg.Workers[i], needDegraded)
 		if err != nil {
 			return nil, fmt.Errorf("worker %d: %w", i, err)
 		}
-		res.Workers = append(res.Workers, *w)
+		return w, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	results := make([]WorkerResult, len(sims))
+	for i, s := range sims {
+		results[i] = s.WorkerResult
+	}
+	res, err := compose(results)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Faults.Enabled() {
+		rep, err := replay(cfg, sims)
+		if err != nil {
+			return nil, err
+		}
+		res.Faults = rep
+	}
+	return res, nil
+}
 
-	// Lock-step composition: global step k completes when the slowest
-	// worker finishes its k-th step.
-	minSteps := len(res.Workers[0].StepTimes)
-	for _, w := range res.Workers {
+// compose builds the lock-step service result from per-worker outcomes:
+// global step k completes when the slowest worker finishes its k-th step.
+// Workers with unequal step counts truncate the composition to the
+// shortest series.
+func compose(workers []WorkerResult) (*Result, error) {
+	res := &Result{Workers: workers}
+	minSteps := len(workers[0].StepTimes)
+	for _, w := range workers {
 		if len(w.StepTimes) < minSteps {
 			minSteps = len(w.StepTimes)
 		}
@@ -116,7 +206,7 @@ func Run(cfg Config) (*Result, error) {
 	prev := 0.0
 	for k := 0; k < minSteps; k++ {
 		barrier := 0.0
-		for _, w := range res.Workers {
+		for _, w := range workers {
 			if w.StepTimes[k] > barrier {
 				barrier = w.StepTimes[k]
 			}
@@ -132,7 +222,7 @@ func Run(cfg Config) (*Result, error) {
 		res.StepsPerSec = 1 / res.MeanStepTime
 	}
 	var rates []float64
-	for _, w := range res.Workers {
+	for _, w := range workers {
 		rates = append(rates, w.StepsPerSec)
 	}
 	if mean := metrics.Mean(rates); res.StepsPerSec > 0 && mean > 0 {
@@ -141,8 +231,72 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runWorker simulates one worker node under its configured policy.
-func runWorker(cfg Config, idx int, spec WorkerSpec) (*WorkerResult, error) {
+// runWorker simulates one worker node under its configured policy. With
+// needDegraded set it additionally simulates the worker under escalated
+// interference (the degrade fault's step-time series), so an isolation
+// policy measurably shrinks what escalation costs.
+func runWorker(cfg Config, idx int, spec WorkerSpec, needDegraded bool) (*workerSim, error) {
+	w, err := simulateWorker(cfg, idx, spec)
+	if err != nil {
+		return nil, err
+	}
+	ws := &workerSim{WorkerResult: *w}
+	ws.durs, err = stepDurations(w.StepTimes)
+	if err != nil {
+		// The plain composition tolerates short series (its own minSteps
+		// check reports them); only the fault runtime needs durations.
+		if cfg.Faults.Enabled() {
+			return nil, err
+		}
+	}
+	if needDegraded {
+		dw, err := simulateWorker(cfg, idx, escalate(spec))
+		if err != nil {
+			return nil, fmt.Errorf("degraded rerun: %w", err)
+		}
+		ws.degDurs, err = stepDurations(dw.StepTimes)
+		if err != nil {
+			return nil, fmt.Errorf("degraded rerun: %w", err)
+		}
+	}
+	return ws, nil
+}
+
+// escalate returns the worker spec one interference level up: a colocated
+// aggressor steps from L to M or M to H (H stays H — already saturated),
+// and a previously clean worker gains a medium aggressor.
+func escalate(spec WorkerSpec) WorkerSpec {
+	if !spec.Aggressor {
+		spec.Aggressor = true
+		spec.Level = workload.LevelMedium
+		return spec
+	}
+	if spec.Level < workload.LevelHigh {
+		spec.Level++
+	}
+	return spec
+}
+
+// stepDurations converts step-completion timestamps into per-step
+// durations, dropping any non-positive interval (the first timestamp's
+// offset from measurement start is unknown, so the series has one fewer
+// entry than StepTimes).
+func stepDurations(stepTimes []float64) ([]float64, error) {
+	var durs []float64
+	for k := 1; k < len(stepTimes); k++ {
+		if d := stepTimes[k] - stepTimes[k-1]; d > 0 {
+			durs = append(durs, d)
+		}
+	}
+	if len(durs) == 0 {
+		return nil, fmt.Errorf("cluster: too few steps measured to derive step durations (%d timestamps)", len(stepTimes))
+	}
+	return durs, nil
+}
+
+// simulateWorker runs one worker node end to end and records its measured
+// step-completion timestamps.
+func simulateWorker(cfg Config, idx int, spec WorkerSpec) (*WorkerResult, error) {
 	ncfg := cfg.Node
 	ncfg.Seed = cfg.Node.Seed + int64(idx)*7919
 	n, err := node.New(ncfg)

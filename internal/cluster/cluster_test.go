@@ -116,6 +116,60 @@ func TestKelpRescuesTheStraggler(t *testing.T) {
 	}
 }
 
+// evenWorker returns a synthetic worker stepping exactly every `period`
+// seconds for n steps.
+func evenWorker(period float64, n int) WorkerResult {
+	w := WorkerResult{StepsPerSec: 1 / period}
+	for k := 1; k <= n; k++ {
+		w.StepTimes = append(w.StepTimes, period*float64(k))
+	}
+	return w
+}
+
+func TestComposeTruncatesToShortestSeries(t *testing.T) {
+	// One worker measured 5 steps, the other 3: the lock-step composition
+	// only exists where both series do.
+	a := WorkerResult{StepsPerSec: 1, StepTimes: []float64{1, 2, 3, 4, 5}}
+	b := WorkerResult{StepsPerSec: 1, StepTimes: []float64{1.5, 2.5, 3.5}}
+	r, err := compose([]WorkerResult{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barriers at 1.5, 2.5, 3.5: two global steps of 1s each; worker a's
+	// 4th and 5th steps never enter the composition.
+	if r.MeanStepTime != 1 || r.StepsPerSec != 1 || r.P95StepTime != 1 {
+		t.Errorf("truncated composition: %+v", r)
+	}
+}
+
+func TestComposeRejectsTooFewSteps(t *testing.T) {
+	one := WorkerResult{StepsPerSec: 1, StepTimes: []float64{1}}
+	ok := evenWorker(0.5, 10)
+	for _, workers := range [][]WorkerResult{
+		{one},
+		{ok, one}, // one short series poisons the composition
+		{{StepsPerSec: 1, StepTimes: nil}},
+	} {
+		if _, err := compose(workers); err == nil {
+			t.Errorf("compose accepted %v", workers)
+		}
+	}
+}
+
+func TestSingleWorkerClusterHasUnitAmplification(t *testing.T) {
+	// A one-worker cluster IS its own barrier: no tail to amplify.
+	r, err := compose([]WorkerResult{evenWorker(0.5, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amplification != 1 {
+		t.Errorf("single-worker amplification = %v, want exactly 1", r.Amplification)
+	}
+	if r.StepsPerSec != 2 {
+		t.Errorf("steps/s = %v, want 2", r.StepsPerSec)
+	}
+}
+
 func TestWorkersAreDeterministicButDistinct(t *testing.T) {
 	a, err := Run(testConfig(make([]WorkerSpec, 2)))
 	if err != nil {

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"kelp/internal/clusterfaults"
+	"kelp/internal/events"
+	"kelp/internal/sim"
+)
+
+// faultConfig is testConfig with shorter windows (the replay only needs a
+// representative step-time series) and room for fault fields.
+func faultConfig(workers int) Config {
+	cfg := testConfig(make([]WorkerSpec, workers))
+	cfg.Warmup = 1 * sim.Second
+	cfg.Measure = 2 * sim.Second
+	return cfg
+}
+
+// A disabled fault spec must leave Run's results byte-identical to the
+// plain composition — recovery knobs, horizon and an attached recorder
+// included, none of which may engage the fault runtime.
+func TestDisabledFaultSpecIsNeutral(t *testing.T) {
+	plain, err := Run(faultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Faults != nil {
+		t.Fatal("fault report attached without a fault spec")
+	}
+
+	rec := events.MustNew(1 << 12)
+	cfg := faultConfig(2)
+	cfg.Recovery = RecoveryConfig{CheckpointEvery: 5, Straggler: DropStraggler}
+	cfg.Horizon = 30 * sim.Second
+	cfg.Events = rec
+	dressed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, dressed) {
+		t.Errorf("disabled spec changed results:\nplain:   %+v\ndressed: %+v", plain, dressed)
+	}
+	if rec.Len() != 0 {
+		t.Errorf("disabled spec emitted %d cluster events", rec.Len())
+	}
+}
+
+// Worker parallelism must not change anything — fault replay included.
+func TestParallelismIsNeutral(t *testing.T) {
+	mk := func(parallel int) *Result {
+		cfg := faultConfig(3)
+		cfg.Parallel = parallel
+		cfg.Faults = clusterfaults.Spec{Seed: 7, Crash: 0.1, Hang: 0.2, HangDur: 0.4}
+		cfg.Horizon = 30 * sim.Second
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, fanned := mk(1), mk(3)
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Errorf("parallelism changed results:\nserial: %+v\nfanned: %+v", serial, fanned)
+	}
+}
+
+// TestClusterFaultDeterminism pins the acceptance criterion: a fixed
+// (seed, spec) replays identical fault sequences, restart counts, goodput
+// metrics and event streams. CI runs this test under -race by name.
+func TestClusterFaultDeterminism(t *testing.T) {
+	run := func() (*Result, []events.Event) {
+		rec := events.MustNew(1 << 14)
+		cfg := faultConfig(3)
+		cfg.Parallel = 3
+		cfg.Faults = clusterfaults.Spec{
+			Seed: 42, Crash: 0.12, Downtime: 0.5, RestartFail: 0.3,
+			Hang: 0.2, HangDur: 0.5, Degrade: 0.05,
+		}
+		cfg.Recovery = RecoveryConfig{CheckpointEvery: 8, MedianWindow: 4, Straggler: DropStraggler}
+		cfg.Horizon = 30 * sim.Second
+		cfg.Events = rec
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rec.Events()
+	}
+	r1, ev1 := run()
+	r2, ev2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("identical (seed, spec) diverged:\na: %+v\nb: %+v", r1.Faults, r2.Faults)
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Errorf("event streams diverged: %d vs %d events", len(ev1), len(ev2))
+	}
+	if r1.Faults == nil || r1.Faults.Crashes == 0 {
+		t.Fatalf("regime injected no crashes; report: %+v", r1.Faults)
+	}
+}
+
+func TestCrashRecoveryAccounting(t *testing.T) {
+	rec := events.MustNew(1 << 14)
+	cfg := faultConfig(2)
+	cfg.Faults = clusterfaults.Spec{Seed: 11, Crash: 0.15, Downtime: 0.5}
+	cfg.Recovery = RecoveryConfig{CheckpointEvery: 10, CheckpointCost: 0.01}
+	cfg.Horizon = 40 * sim.Second
+	cfg.Events = rec
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Faults
+	if rep == nil {
+		t.Fatal("no fault report")
+	}
+	if rep.Crashes == 0 || rep.Restarts == 0 {
+		t.Fatalf("regime too tame: %+v", rep)
+	}
+	if rep.WastedSteps == 0 || rep.WastedStepFraction <= 0 || rep.WastedStepFraction >= 1 {
+		t.Errorf("wasted accounting: steps=%d fraction=%v", rep.WastedSteps, rep.WastedStepFraction)
+	}
+	// Every crash costs work and wall-clock: goodput must land below the
+	// fault-free service rate, and availability below 1.
+	if !(rep.Goodput > 0 && rep.Goodput < r.StepsPerSec) {
+		t.Errorf("goodput %.3f, want in (0, %.3f)", rep.Goodput, r.StepsPerSec)
+	}
+	if !(rep.Availability > 0 && rep.Availability < 1) {
+		t.Errorf("availability = %v with %v downtime", rep.Availability, rep.Downtime)
+	}
+	if rep.Checkpoints == 0 || rep.Restores == 0 {
+		t.Errorf("checkpoint machinery idle: %+v", rep)
+	}
+	if rep.Recoveries == 0 || rep.MeanRecoveryTime <= 0 {
+		t.Errorf("no completed recoveries: %+v", rep)
+	}
+
+	// The flight recorder must agree with the report's counters.
+	count := func(typ events.Type) int {
+		n := 0
+		for _, e := range rec.Events() {
+			if e.Type == typ {
+				if e.Source != "cluster" {
+					t.Fatalf("event %v from source %q", e.Type, e.Source)
+				}
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(events.WorkerCrash); got != rep.Crashes {
+		t.Errorf("worker.crash events = %d, report says %d", got, rep.Crashes)
+	}
+	if got := count(events.CheckpointSave); got != rep.Checkpoints {
+		t.Errorf("checkpoint.save events = %d, report says %d", got, rep.Checkpoints)
+	}
+	if got := count(events.CheckpointRestore); got != rep.Restores {
+		t.Errorf("checkpoint.restore events = %d, report says %d", got, rep.Restores)
+	}
+	ok, failed := 0, 0
+	for _, e := range rec.Events() {
+		if e.Type == events.WorkerRestart {
+			if e.Fields["ok"] == true {
+				ok++
+			} else {
+				failed++
+			}
+		}
+	}
+	if ok != rep.Restarts || failed != rep.FailedRestarts {
+		t.Errorf("restart events ok=%d failed=%d, report says %d/%d",
+			ok, failed, rep.Restarts, rep.FailedRestarts)
+	}
+}
+
+func TestDeadWorkerShrinksCluster(t *testing.T) {
+	rec := events.MustNew(1 << 14)
+	cfg := faultConfig(2)
+	// Every restart attempt fails: the first crashed worker burns through
+	// its retry budget and is declared dead.
+	cfg.Faults = clusterfaults.Spec{Seed: 3, Crash: 0.2, Downtime: 0.3, RestartFail: 1}
+	cfg.Recovery = RecoveryConfig{MaxRestarts: 2}
+	cfg.Horizon = 30 * sim.Second
+	cfg.Events = rec
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Faults
+	if rep.DeadWorkers == 0 || rep.Restarts != 0 || rep.FailedRestarts == 0 {
+		t.Fatalf("want dead workers and only failed restarts: %+v", rep)
+	}
+	// The cluster shrank but kept training: useful steps still accrued.
+	if rep.UsefulSteps == 0 {
+		t.Errorf("shrunken cluster made no progress: %+v", rep)
+	}
+	dead := 0
+	for _, e := range rec.Events() {
+		if e.Type == events.WorkerDead {
+			dead++
+		}
+	}
+	if dead != rep.DeadWorkers {
+		t.Errorf("worker.dead events = %d, report says %d", dead, rep.DeadWorkers)
+	}
+}
+
+func TestStragglerPolicies(t *testing.T) {
+	run := func(p StragglerPolicy) (*FaultReport, []events.Event) {
+		rec := events.MustNew(1 << 14)
+		cfg := faultConfig(3)
+		// Hangs stretch steps ~25x past the median — far beyond the 3x
+		// timeout threshold — so the straggler policy must engage.
+		cfg.Faults = clusterfaults.Spec{Seed: 9, Hang: 0.15, HangDur: 1}
+		cfg.Recovery = RecoveryConfig{Straggler: p, StragglerFactor: 3, MedianWindow: 4}
+		cfg.Horizon = 30 * sim.Second
+		cfg.Events = rec
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Faults, rec.Events()
+	}
+
+	wait, _ := run(WaitForStraggler)
+	if wait.Timeouts == 0 || wait.Hangs == 0 {
+		t.Fatalf("hang regime produced no barrier timeouts: %+v", wait)
+	}
+	if wait.StragglerDrops != 0 || wait.FailedSteps != 0 || wait.WastedSteps != 0 {
+		t.Errorf("wait policy discarded work: %+v", wait)
+	}
+
+	drop, evs := run(DropStraggler)
+	if drop.StragglerDrops == 0 {
+		t.Fatalf("drop policy dropped nothing: %+v", drop)
+	}
+	timeouts, straggles := 0, 0
+	for _, e := range evs {
+		switch e.Type {
+		case events.BarrierTimeout:
+			timeouts++
+		case events.WorkerStraggle:
+			straggles++
+		}
+	}
+	if timeouts != drop.Timeouts || straggles == 0 {
+		t.Errorf("barrier.timeout events = %d (report %d), worker.straggle = %d",
+			timeouts, drop.Timeouts, straggles)
+	}
+	// Dropping the straggler commits without it: goodput at least matches
+	// waiting the hang out.
+	if !(drop.Goodput >= wait.Goodput) {
+		t.Errorf("drop goodput %.3f below wait %.3f", drop.Goodput, wait.Goodput)
+	}
+
+	fail, _ := run(FailStep)
+	if fail.FailedSteps == 0 || fail.WastedSteps < fail.FailedSteps {
+		t.Fatalf("failstep policy failed nothing: %+v", fail)
+	}
+}
+
+func TestRecoveryConfigValidation(t *testing.T) {
+	if err := (RecoveryConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if err := DefaultRecovery().Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	bad := []RecoveryConfig{
+		{CheckpointEvery: -1},
+		{CheckpointCost: -0.1},
+		{Straggler: "panic"},
+		{StragglerFactor: 0.5}, // a threshold below the median is nonsense
+		{MedianWindow: -2},
+		{MaxRestarts: -1},
+		{RestartBackoff: 0.5}, // backoff below 1 would shrink the wait
+	}
+	for i, rc := range bad {
+		if err := rc.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, rc)
+		}
+	}
+	// Config.Validate must propagate fault and recovery validation.
+	cfg := faultConfig(2)
+	cfg.Faults.Crash = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	cfg = faultConfig(2)
+	cfg.Recovery.StragglerFactor = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid recovery config accepted")
+	}
+	cfg = faultConfig(2)
+	cfg.Horizon = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}

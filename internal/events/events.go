@@ -30,7 +30,8 @@ type Type string
 
 // The event taxonomy. Sources are the emitting layers: "memsys" (the
 // memory fabric), "kelp" / "throttler" / "mba" (the policy controllers),
-// "agent" (admission), and "faults" (the fault injector).
+// "agent" (admission), "faults" (the node fault injector), and "cluster"
+// (the fault-tolerant lock-step runtime).
 const (
 	// DistressAssert fires when a memory controller's utilization first
 	// exceeds the distress threshold and the FAST_ASSERTED signal begins
@@ -59,7 +60,9 @@ const (
 	AgentAdmit Type = "agent.admit"
 	// AgentReject records a refused admission. Fields: task, ml, reason.
 	AgentReject Type = "agent.reject"
-	// AgentEvict records a task eviction. Fields: task.
+	// AgentEvict records a task eviction attempt. Fields: task, plus
+	// error when the eviction failed (so a failed evict is visible in the
+	// flight recorder, not silently absent).
 	AgentEvict Type = "agent.evict"
 	// FaultSensor records an injected sensor fault (internal/faults):
 	// a dropped window, a stale replay, NaN poisoning, a counter spike,
@@ -88,6 +91,33 @@ const (
 	// DegradeExit fires when the controller leaves fail-safe mode after
 	// J consecutive clean periods. Fields: controller, clean_periods.
 	DegradeExit Type = "degrade.exit"
+	// WorkerCrash records a cluster worker's node being lost mid-step;
+	// the in-flight global step aborts and the cluster rolls back to its
+	// last checkpoint. Fields: worker, step, lost_steps, downtime.
+	WorkerCrash Type = "worker.crash"
+	// WorkerRestart records one restart attempt of a crashed worker.
+	// Fields: worker, ok, attempt, and outage (success) or retry_in
+	// (failure, the backed-off wait before the next attempt).
+	WorkerRestart Type = "worker.restart"
+	// WorkerStraggle records a worker exceeding the barrier's straggler
+	// threshold. Fields: worker, step_time, threshold, action.
+	WorkerStraggle Type = "worker.straggle"
+	// WorkerDegrade records a worker's colocated interference escalating
+	// mid-run (its step-time series switches to the degraded one).
+	// Fields: worker.
+	WorkerDegrade Type = "worker.degrade"
+	// WorkerDead records a worker declared dead after exhausting restart
+	// retries; the cluster shrinks around it. Fields: worker, attempts.
+	WorkerDead Type = "worker.dead"
+	// CheckpointSave records a periodic cluster checkpoint. Fields: step.
+	CheckpointSave Type = "checkpoint.save"
+	// CheckpointRestore records a worker rejoining from the last (or, for
+	// dropped stragglers, the next) checkpoint. Fields: worker, step.
+	CheckpointRestore Type = "checkpoint.restore"
+	// BarrierTimeout records a global step exceeding the straggler
+	// threshold and the policy's chosen action (wait, drop, failstep).
+	// Fields: step, action, threshold, stragglers.
+	BarrierTimeout Type = "barrier.timeout"
 )
 
 // Types lists every event type in the taxonomy, in documentation order.
@@ -98,6 +128,8 @@ func Types() []Type {
 		AgentAdmit, AgentReject, AgentEvict,
 		FaultSensor, FaultActuator, FaultStall,
 		SensorReject, ActuateError, DegradeEnter, DegradeExit,
+		WorkerCrash, WorkerRestart, WorkerStraggle, WorkerDegrade, WorkerDead,
+		CheckpointSave, CheckpointRestore, BarrierTimeout,
 	}
 }
 

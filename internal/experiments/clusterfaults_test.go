@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kelp/internal/clusterfaults"
+	"kelp/internal/policy"
+	"kelp/internal/sim"
+)
+
+func TestClusterFaultCases(t *testing.T) {
+	cases := ClusterFaultCases(7)
+	if len(cases) != 6 {
+		t.Fatalf("got %d regimes", len(cases))
+	}
+	if cases[0].Name != "none" || cases[0].Spec.Enabled() {
+		t.Errorf("first regime must be the clean control: %+v", cases[0])
+	}
+	seen := map[string]bool{}
+	for _, c := range cases[1:] {
+		if !c.Spec.Enabled() {
+			t.Errorf("regime %q injects nothing", c.Name)
+		}
+		if c.Spec.Seed != 7 {
+			t.Errorf("regime %q not rooted at the study seed", c.Name)
+		}
+		if err := c.Spec.Validate(); err != nil {
+			t.Errorf("regime %q invalid: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate regime %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// The study's headline: under crash churn, isolation does not just shrink
+// tail amplification — it shrinks the cost of every failure. Kelp commits
+// more useful steps per second and wastes a smaller fraction of executed
+// work than Baseline under the identical fault sequence.
+func TestClusterFaultsKelpBeatsBaseline(t *testing.T) {
+	h := NewHarness()
+	h.Warmup = 1 * sim.Second
+	h.Measure = 1 * sim.Second
+	spec := clusterfaults.Spec{Seed: 42, Crash: 0.06, Downtime: 1.5}
+	rows, err := ClusterFaults(h, 42, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("custom spec: got %d rows, want one per policy", len(rows))
+	}
+	byPolicy := map[policy.Kind]ClusterFaultRow{}
+	for _, r := range rows {
+		if r.Fault != "custom" {
+			t.Errorf("custom study row labeled %q", r.Fault)
+		}
+		byPolicy[r.Policy] = r
+	}
+	bl, kp := byPolicy[policy.Baseline], byPolicy[policy.Kelp]
+	if bl.Crashes == 0 || kp.Crashes == 0 {
+		t.Fatalf("regime too tame: baseline %+v, kelp %+v", bl, kp)
+	}
+	if !(kp.Goodput > bl.Goodput) {
+		t.Errorf("Kelp goodput %.3f, want above Baseline %.3f", kp.Goodput, bl.Goodput)
+	}
+	if !(kp.WastedStepFraction < bl.WastedStepFraction) {
+		t.Errorf("Kelp wasted fraction %.4f, want below Baseline %.4f",
+			kp.WastedStepFraction, bl.WastedStepFraction)
+	}
+	for _, r := range rows {
+		if !(r.Goodput > 0 && r.Goodput < r.StepsPerSec) {
+			t.Errorf("%v: goodput %.3f outside (0, %.3f)", r.Policy, r.Goodput, r.StepsPerSec)
+		}
+		if !(r.Availability > 0 && r.Availability < 1) {
+			t.Errorf("%v: availability %.4f under crash churn", r.Policy, r.Availability)
+		}
+	}
+
+	table := ClusterFaultsTable(rows).String()
+	for _, col := range []string{"Goodput", "Wasted", "Recovery s", "Avail"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("table missing column %q", col)
+		}
+	}
+}

@@ -1,20 +1,18 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "kelp/internal/pool"
 
 // The evaluation is a grid of independent scenario cells: every cell builds
 // a fresh node (with its own seeded RNG streams), runs it, and reads its
 // counters, so cells never share mutable state. Collect exploits that by
-// fanning cells out across a bounded worker pool while keeping the output
-// byte-identical to a serial sweep: results are collected by input index,
-// so ordering — the only thing concurrency could perturb — is restored.
+// fanning cells out across internal/pool's bounded worker pool while
+// keeping the output byte-identical to a serial sweep: results are
+// collected by input index, so ordering — the only thing concurrency could
+// perturb — is restored.
 
 // DefaultParallelism is the worker count used when a caller does not
 // request an explicit one: the Go runtime's available parallelism.
-func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+func DefaultParallelism() int { return pool.DefaultParallelism() }
 
 // Collect evaluates cell(0) .. cell(n-1) on a bounded pool of workers and
 // returns the results in input order. workers <= 0 selects
@@ -23,51 +21,5 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // returns the lowest-indexed error — the same one a serial in-order sweep
 // would have reported first.
 func Collect[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	if workers <= 0 {
-		workers = DefaultParallelism()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		out := make([]T, 0, n)
-		for i := 0; i < n; i++ {
-			r, err := cell(i)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
-		}
-		return out, nil
-	}
-
-	out := make([]T, n)
-	errs := make([]error, n)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// Each index is written by exactly one goroutine, so the
-				// slices need no locking.
-				out[i], errs[i] = cell(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return pool.Collect(workers, n, cell)
 }

@@ -64,3 +64,15 @@ func Stddev(xs []float64) float64 {
 
 // Median returns the median of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// TrailingMedian returns the median of the last window entries of xs (all
+// of xs when it is shorter, or when window <= 0). The cluster runtime's
+// barrier timeout derives its straggler threshold from this: a trailing
+// window tracks drift in the service's own step time, so the threshold
+// adapts instead of being an absolute constant.
+func TrailingMedian(xs []float64, window int) float64 {
+	if window > 0 && len(xs) > window {
+		xs = xs[len(xs)-window:]
+	}
+	return Median(xs)
+}

@@ -1,0 +1,73 @@
+// Package pool is the bounded worker pool behind every embarrassingly
+// parallel sweep in the tree: the evaluation grids of internal/experiments
+// and the per-worker simulations of internal/cluster. Work is expressed as
+// n independent cells; Collect fans them out across a bounded set of
+// goroutines and gathers results by input index, so the output is
+// byte-identical to a serial sweep — ordering, the only thing concurrency
+// could perturb, is restored at collection time.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used when a caller does not
+// request an explicit one: the Go runtime's available parallelism.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Collect evaluates cell(0) .. cell(n-1) on a bounded pool of workers and
+// returns the results in input order. workers <= 0 selects
+// DefaultParallelism; workers == 1 runs serially with fail-fast semantics.
+// Cells must be independent of each other. If any cell fails, Collect
+// returns the lowest-indexed error — the same one a serial in-order sweep
+// would have reported first.
+func Collect[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		out := make([]T, 0, n)
+		for i := 0; i < n; i++ {
+			r, err := cell(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Each index is written by exactly one goroutine, so the
+				// slices need no locking.
+				out[i], errs[i] = cell(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

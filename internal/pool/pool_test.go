@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCollectPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := Collect(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	got, err := Collect(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("empty sweep: %v, %v", got, err)
+	}
+}
+
+func TestCollectReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Collect(workers, 20, func(i int) (int, error) {
+			if i == 3 || i == 17 {
+				return 0, fmt.Errorf("cell %d", i)
+			}
+			return i, nil
+		})
+		// The same error a serial in-order sweep reports first.
+		if err == nil || err.Error() != "cell 3" {
+			t.Errorf("workers=%d: err = %v, want cell 3", workers, err)
+		}
+	}
+}
+
+func TestCollectBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := Collect(3, 64, func(i int) (int, error) {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent cells, bound is 3", p)
+	}
+}

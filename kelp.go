@@ -39,6 +39,7 @@ import (
 	"kelp/internal/accel"
 	"kelp/internal/agent"
 	"kelp/internal/cluster"
+	"kelp/internal/clusterfaults"
 	"kelp/internal/core"
 	"kelp/internal/events"
 	"kelp/internal/experiments"
@@ -216,8 +217,28 @@ func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
 // workflow; tail-at-scale amplification).
 type ClusterConfig = cluster.Config
 
+// ClusterWorkerSpec configures one worker node of a cluster run.
+type ClusterWorkerSpec = cluster.WorkerSpec
+
 // RunCluster simulates a distributed training cluster.
 func RunCluster(cfg ClusterConfig) (*cluster.Result, error) { return cluster.Run(cfg) }
+
+// ClusterFaultSpec configures cluster-level fault injection on a cluster
+// run: worker crash/restart, barrier hangs, and mid-run interference
+// escalation. The zero value disables injection; see docs/CLUSTER.md.
+type ClusterFaultSpec = clusterfaults.Spec
+
+// ParseClusterFaultSpec parses the -cfaults key=value spec format.
+func ParseClusterFaultSpec(s string) (ClusterFaultSpec, error) { return clusterfaults.ParseSpec(s) }
+
+// ClusterRecoveryConfig parameterizes the cluster's defensive layer:
+// checkpoint cadence, barrier-timeout straggler policy, and bounded
+// restart retry. The zero value selects the defaults.
+type ClusterRecoveryConfig = cluster.RecoveryConfig
+
+// ClusterFaultReport is the fault-tolerant cluster runtime's outcome:
+// goodput, wasted-step fraction, recovery times and availability.
+type ClusterFaultReport = cluster.FaultReport
 
 // EventRecorder is the flight recorder: a fixed-capacity ring of
 // structured events (distress transitions, controller actuations,
