@@ -29,6 +29,10 @@
 // reporting goodput, wasted-step fraction and recovery time per isolation
 // policy. -cfaults spec replaces the standard regimes with a custom one
 // (same -faultseed-rooted determinism); see docs/CLUSTER.md.
+//
+// -cpuprofile f / -memprofile f write pprof profiles of the run (CPU
+// sampled across the whole run, heap snapshot at exit after a GC), for the
+// hot-path workflow described in docs/PERFORMANCE.md.
 package main
 
 import (
@@ -36,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"kelp/internal/clusterfaults"
@@ -56,7 +62,39 @@ func main() {
 	faultsFlag := flag.String("faults", "", "fault injection spec applied to every colocation run (see docs/RESILIENCE.md)")
 	faultSeed := flag.Uint64("faultseed", 42, "PRNG seed for the resilience and clusterfaults studies' fault regimes")
 	cfaultsFlag := flag.String("cfaults", "", "custom cluster fault spec for -exp clusterfaults (see docs/CLUSTER.md)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kelpbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kelpbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kelpbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "kelpbench: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {

@@ -84,16 +84,24 @@ func (a *Agent) Node() *node.Node { return a.n }
 // Events returns the node's flight recorder.
 func (a *Agent) Events() *events.Recorder { return a.n.Events() }
 
+// recording reports whether the node has a live flight recorder; call
+// sites use it to skip field-map construction entirely when recording is
+// off, so instrumentation costs nothing on an unrecorded node.
+func (a *Agent) recording() bool { return a.n.Events().Enabled() }
+
 // emit records one agent-sourced event at the current simulated time.
+// Callers constructing a field map should guard with recording().
 func (a *Agent) emit(t events.Type, fields map[string]any) {
 	a.n.Events().Emit(float64(a.n.Now()), t, "agent", fields)
 }
 
 // reject emits an agent.reject event and returns err unchanged.
 func (a *Agent) reject(task string, ml bool, err error) error {
-	a.emit(events.AgentReject, map[string]any{
-		"task": task, "ml": ml, "reason": err.Error(),
-	})
+	if a.recording() {
+		a.emit(events.AgentReject, map[string]any{
+			"task": task, "ml": ml, "reason": err.Error(),
+		})
+	}
 	return err
 }
 
@@ -153,9 +161,11 @@ func (a *Agent) AdmitML(t workload.Task, cores int) error {
 	}
 	a.applied = applied
 	a.mlName = t.Name()
-	a.emit(events.AgentAdmit, map[string]any{
-		"task": t.Name(), "group": applied.ML, "ml": true, "cores": cores,
-	})
+	if a.recording() {
+		a.emit(events.AgentAdmit, map[string]any{
+			"task": t.Name(), "group": applied.ML, "ml": true, "cores": cores,
+		})
+	}
 	return nil
 }
 
@@ -178,9 +188,11 @@ func (a *Agent) AdmitBatch(t workload.Task) error {
 	if err := a.n.AddTask(t, group); err != nil {
 		return a.reject(t.Name(), false, err)
 	}
-	a.emit(events.AgentAdmit, map[string]any{
-		"task": t.Name(), "group": group, "ml": false,
-	})
+	if a.recording() {
+		a.emit(events.AgentAdmit, map[string]any{
+			"task": t.Name(), "group": group, "ml": false,
+		})
+	}
 	return nil
 }
 
@@ -190,15 +202,19 @@ func (a *Agent) AdmitBatch(t workload.Task) error {
 // so the flight recorder shows the attempt, not just successes.
 func (a *Agent) Evict(name string) error {
 	if err := a.n.RemoveTask(name); err != nil {
-		a.emit(events.AgentEvict, map[string]any{
-			"task": name, "error": err.Error(),
-		})
+		if a.recording() {
+			a.emit(events.AgentEvict, map[string]any{
+				"task": name, "error": err.Error(),
+			})
+		}
 		return err
 	}
 	if name == a.mlName {
 		a.mlName = ""
 	}
-	a.emit(events.AgentEvict, map[string]any{"task": name})
+	if a.recording() {
+		a.emit(events.AgentEvict, map[string]any{"task": name})
+	}
 	return nil
 }
 

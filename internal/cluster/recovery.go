@@ -267,6 +267,9 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 		ckptStep  int       // committed step of the last checkpoint
 		history   []float64 // committed barrier durations (straggler median)
 	)
+	// recording gates field-map construction at every emit site: with no
+	// recorder attached the fault path must not build throwaway maps.
+	recording := cfg.Events.Enabled()
 	emit := func(typ events.Type, fields map[string]any) {
 		cfg.Events.Emit(t, typ, "cluster", fields)
 	}
@@ -318,27 +321,35 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 					ws.down = false
 					ws.dead = true
 					rep.DeadWorkers++
-					emit(events.WorkerDead, map[string]any{
-						"worker": downW, "attempts": ws.attempts,
-					})
+					if recording {
+						emit(events.WorkerDead, map[string]any{
+							"worker": downW, "attempts": ws.attempts,
+						})
+					}
 				} else {
 					backoff := spec.Downtime * math.Pow(rc.RestartBackoff, float64(ws.attempts))
 					ws.upAt = t + backoff
-					emit(events.WorkerRestart, map[string]any{
-						"worker": downW, "ok": false, "attempt": ws.attempts, "retry_in": backoff,
-					})
+					if recording {
+						emit(events.WorkerRestart, map[string]any{
+							"worker": downW, "ok": false, "attempt": ws.attempts, "retry_in": backoff,
+						})
+					}
 				}
 			} else {
 				ws.down = false
 				rep.Restarts++
-				emit(events.WorkerRestart, map[string]any{
-					"worker": downW, "ok": true, "attempt": ws.attempts + 1,
-					"outage": t - ws.downAt,
-				})
+				if recording {
+					emit(events.WorkerRestart, map[string]any{
+						"worker": downW, "ok": true, "attempt": ws.attempts + 1,
+						"outage": t - ws.downAt,
+					})
+				}
 				rep.Restores++
-				emit(events.CheckpointRestore, map[string]any{
-					"worker": downW, "step": ckptStep,
-				})
+				if recording {
+					emit(events.CheckpointRestore, map[string]any{
+						"worker": downW, "step": ckptStep,
+					})
+				}
 			}
 			continue
 		}
@@ -376,7 +387,9 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 			if !ws.degraded && inj.Degrade(w, d) {
 				ws.degraded = true
 				rep.Degrades++
-				emit(events.WorkerDegrade, map[string]any{"worker": w})
+				if recording {
+					emit(events.WorkerDegrade, map[string]any{"worker": w})
+				}
 			}
 			durs[k] = d
 		}
@@ -405,10 +418,12 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 				ws.attempts = 0
 				ws.downAt = t
 				ws.upAt = t + spec.Downtime
-				emit(events.WorkerCrash, map[string]any{
-					"worker": w, "step": ckptStep + lost, "lost_steps": lost,
-					"downtime": spec.Downtime,
-				})
+				if recording {
+					emit(events.WorkerCrash, map[string]any{
+						"worker": w, "step": ckptStep + lost, "lost_steps": lost,
+						"downtime": spec.Downtime,
+					})
+				}
 			}
 			continue
 		}
@@ -439,20 +454,22 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 		}
 		if action != "" {
 			rep.Timeouts++
-			emit(events.BarrierTimeout, map[string]any{
-				"step": committed, "action": action,
-				"threshold": thresh, "stragglers": len(stragglers),
-			})
-			for _, w := range stragglers {
-				var d float64
-				for k, sw := range stepping {
-					if sw == w {
-						d = durs[k]
-					}
-				}
-				emit(events.WorkerStraggle, map[string]any{
-					"worker": w, "step_time": d, "threshold": thresh, "action": action,
+			if recording {
+				emit(events.BarrierTimeout, map[string]any{
+					"step": committed, "action": action,
+					"threshold": thresh, "stragglers": len(stragglers),
 				})
+				for _, w := range stragglers {
+					var d float64
+					for k, sw := range stepping {
+						if sw == w {
+							d = durs[k]
+						}
+					}
+					emit(events.WorkerStraggle, map[string]any{
+						"worker": w, "step_time": d, "threshold": thresh, "action": action,
+					})
+				}
 			}
 		}
 		if action == "failstep" {
@@ -507,14 +524,18 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 			t += rc.CheckpointCost
 			ckptStep = committed
 			rep.Checkpoints++
-			emit(events.CheckpointSave, map[string]any{"step": committed})
+			if recording {
+				emit(events.CheckpointSave, map[string]any{"step": committed})
+			}
 			for w, ws := range states {
 				if ws.resync {
 					ws.resync = false
 					rep.Restores++
-					emit(events.CheckpointRestore, map[string]any{
-						"worker": w, "step": committed,
-					})
+					if recording {
+						emit(events.CheckpointRestore, map[string]any{
+							"worker": w, "step": committed,
+						})
+					}
 				}
 			}
 		}

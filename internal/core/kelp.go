@@ -314,9 +314,11 @@ func (r *Runtime) Control(now float64) {
 		return
 	}
 	if err := s.Check(r.bounds); err != nil {
-		r.n.Events().Emit(now, events.SensorReject, "kelp", map[string]any{
-			"reason": err.Error(),
-		})
+		if rec := r.n.Events(); rec.Enabled() {
+			rec.Emit(now, events.SensorReject, "kelp", map[string]any{
+				"reason": err.Error(),
+			})
+		}
 		r.fault(now)
 		return
 	}
@@ -324,9 +326,11 @@ func (r *Runtime) Control(now float64) {
 		// Re-assert the fail-safe configuration every period: a stuck
 		// actuator may have swallowed the previous attempt.
 		if err := r.enforceFailSafe(now); err != nil {
-			r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
-				"error": err.Error(),
-			})
+			if rec := r.n.Events(); rec.Enabled() {
+				rec.Emit(now, events.ActuateError, "kelp", map[string]any{
+					"error": err.Error(),
+				})
+			}
 			r.guard.Fault()
 			return
 		}
@@ -340,9 +344,11 @@ func (r *Runtime) Control(now float64) {
 		// Groups were validated at construction, so any failure here is
 		// the actuation path itself misbehaving: score it and hold the
 		// last applied configuration rather than crash the runtime.
-		r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
-			"error": err.Error(),
-		})
+		if rec := r.n.Events(); rec.Enabled() {
+			rec.Emit(now, events.ActuateError, "kelp", map[string]any{
+				"error": err.Error(),
+			})
+		}
 		r.fault(now)
 		return
 	}
@@ -372,16 +378,20 @@ func (r *Runtime) fault(now float64) {
 	if !r.guard.Fault() {
 		return
 	}
-	r.n.Events().Emit(now, events.DegradeEnter, "kelp", map[string]any{
-		"controller":         "kelp",
-		"consecutive_faults": r.guard.EnterAfter,
-	})
+	if rec := r.n.Events(); rec.Enabled() {
+		rec.Emit(now, events.DegradeEnter, "kelp", map[string]any{
+			"controller":         "kelp",
+			"consecutive_faults": r.guard.EnterAfter,
+		})
+	}
 	if err := r.enforceFailSafe(now); err != nil {
 		// Best effort: a stuck actuator may refuse even the fail-safe
 		// write. Control re-asserts it every degraded period.
-		r.n.Events().Emit(now, events.ActuateError, "kelp", map[string]any{
-			"error": err.Error(),
-		})
+		if rec := r.n.Events(); rec.Enabled() {
+			rec.Emit(now, events.ActuateError, "kelp", map[string]any{
+				"error": err.Error(),
+			})
+		}
 	}
 }
 
@@ -392,10 +402,12 @@ func (r *Runtime) clean(now float64) {
 	if !r.guard.Clean() {
 		return
 	}
-	r.n.Events().Emit(now, events.DegradeExit, "kelp", map[string]any{
-		"controller":    "kelp",
-		"clean_periods": r.guard.ExitAfter,
-	})
+	if rec := r.n.Events(); rec.Enabled() {
+		rec.Emit(now, events.DegradeExit, "kelp", map[string]any{
+			"controller":    "kelp",
+			"clean_periods": r.guard.ExitAfter,
+		})
+	}
 }
 
 // enforceFailSafe applies the conservative static configuration: the low

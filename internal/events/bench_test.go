@@ -1,0 +1,88 @@
+package events
+
+import "testing"
+
+// emitGuarded is the instrumentation idiom every hot-path emitter uses:
+// field maps are only built when a recorder is attached.
+func emitGuarded(r *Recorder, now float64, u float64) {
+	if r.Enabled() {
+		r.Emit(now, DistressAssert, "memsys", map[string]any{
+			"socket": 0, "utilization": u,
+		})
+	}
+}
+
+// TestEmitDisabledAllocs pins that instrumentation costs nothing when no
+// recorder is attached: the guarded emit idiom performs zero allocations
+// against a nil recorder.
+func TestEmitDisabledAllocs(t *testing.T) {
+	var r *Recorder
+	avg := testing.AllocsPerRun(200, func() {
+		emitGuarded(r, 0.5, 0.9)
+	})
+	if avg != 0 {
+		t.Fatalf("guarded emit against nil recorder allocates %v allocs/op, want 0", avg)
+	}
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	if !MustNew(4).Enabled() {
+		t.Fatal("live recorder reports disabled")
+	}
+}
+
+// BenchmarkEmitDisabled measures the disabled-path cost of an instrumented
+// call site — the price every unrecorded simulation step pays per would-be
+// event. Must be 0 allocs/op and a few nanoseconds.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emitGuarded(r, float64(i), 0.9)
+	}
+}
+
+// BenchmarkEmitEnabled is the recorded counterpart, for the overhead table
+// in docs/OBSERVABILITY.md.
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := MustNew(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emitGuarded(r, float64(i), 0.9)
+	}
+}
+
+func TestSinceLimit(t *testing.T) {
+	r := MustNew(16)
+	for i := 0; i < 10; i++ {
+		typ := AgentAdmit
+		if i%2 == 1 {
+			typ = KelpActuate
+		}
+		r.Emit(float64(i), typ, "test", nil)
+	}
+
+	if got := r.SinceLimit(0, 3); len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("SinceLimit(0, 3) = %+v, want seqs 1..3", got)
+	}
+	// Limit composes with the cursor and type filter.
+	got := r.SinceLimit(2, 2, KelpActuate)
+	if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 6 {
+		t.Fatalf("SinceLimit(2, 2, KelpActuate) = %+v, want seqs 4, 6", got)
+	}
+	// Zero and negative limits mean unlimited, matching Since.
+	for _, lim := range []int{0, -1} {
+		if got := r.SinceLimit(0, lim); len(got) != 10 {
+			t.Fatalf("SinceLimit(0, %d) returned %d events, want 10", lim, len(got))
+		}
+	}
+	// A limit beyond the backlog returns everything.
+	if got := r.SinceLimit(0, 99); len(got) != 10 {
+		t.Fatalf("SinceLimit(0, 99) returned %d events, want 10", len(got))
+	}
+	// Nil recorder: no events, no panic.
+	var nilRec *Recorder
+	if got := nilRec.SinceLimit(0, 5); got != nil {
+		t.Fatalf("nil.SinceLimit = %v, want nil", got)
+	}
+}

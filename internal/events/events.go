@@ -213,6 +213,19 @@ func (r *Recorder) AttachSink(s Sink, types ...Type) {
 	r.mu.Unlock()
 }
 
+// Enabled reports whether emitted events are actually recorded. It is
+// nil-safe — a nil *Recorder reports false — so hot-path emitters can guard
+// the construction of a field map behind one predictable branch:
+//
+//	if rec.Enabled() {
+//		rec.Emit(now, typ, src, map[string]any{...})
+//	}
+//
+// Emit itself is already a no-op on a nil recorder; Enabled exists so that
+// instrumentation costs nothing (zero allocations) when no recorder is
+// attached, not merely "one wasted map per event".
+func (r *Recorder) Enabled() bool { return r != nil }
+
 // Emit records one event, stamping its sequence number. Calling Emit on a
 // nil recorder is a no-op.
 func (r *Recorder) Emit(time float64, t Type, source string, fields map[string]any) {
@@ -273,6 +286,14 @@ func (r *Recorder) Events() []Event {
 // Since returns buffered events with Seq > after, oldest first, optionally
 // restricted to the listed types. Since(0) returns everything buffered.
 func (r *Recorder) Since(after uint64, types ...Type) []Event {
+	return r.SinceLimit(after, 0, types...)
+}
+
+// SinceLimit is Since with a result cap: at most limit matching events are
+// returned (limit <= 0 means unlimited). The scan stops as soon as the cap
+// is reached, so a poll with a small limit never copies the whole backlog —
+// this is what the kelpd /events?limit= endpoint calls.
+func (r *Recorder) SinceLimit(after uint64, limit int, types ...Type) []Event {
 	if r == nil {
 		return nil
 	}
@@ -287,6 +308,9 @@ func (r *Recorder) Since(after uint64, types ...Type) []Event {
 	defer r.mu.Unlock()
 	var out []Event
 	for i := 0; i < r.size; i++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 		e := r.ring[(r.start+i)%len(r.ring)]
 		if e.Seq <= after {
 			continue

@@ -356,9 +356,11 @@ func (i *Injector) Stall(now float64, ctrl string) bool {
 		return false
 	}
 	i.count("stall")
-	i.rec.Emit(now, events.FaultStall, "faults", map[string]any{
-		"controller": ctrl,
-	})
+	if i.rec.Enabled() {
+		i.rec.Emit(now, events.FaultStall, "faults", map[string]any{
+			"controller": ctrl,
+		})
+	}
 	return true
 }
 
@@ -376,17 +378,21 @@ func (i *Injector) PerturbSample(now float64, ctrl string, s perfmon.Sample) (pe
 	}
 	if i.drop.hit(i.spec.Drop) {
 		i.count("drop")
-		i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
-			"controller": ctrl, "class": "drop",
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
+				"controller": ctrl, "class": "drop",
+			})
+		}
 		return perfmon.Sample{}, true
 	}
 	if i.stale.hit(i.spec.Stale) {
 		if prev, ok := i.last[ctrl]; ok {
 			i.count("stale")
-			i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
-				"controller": ctrl, "class": "stale",
-			})
+			if i.rec.Enabled() {
+				i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
+					"controller": ctrl, "class": "stale",
+				})
+			}
 			return cloneSample(prev), false
 		}
 	}
@@ -399,18 +405,22 @@ func (i *Injector) PerturbSample(now float64, ctrl string, s perfmon.Sample) (pe
 		i.nanMetric[ctrl]++
 		poisonMetric(&s, m, math.NaN(), false)
 		i.count("nan")
-		i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
-			"controller": ctrl, "class": "nan", "metric": m,
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
+				"controller": ctrl, "class": "nan", "metric": m,
+			})
+		}
 	}
 	if i.spike.hit(i.spec.Spike) {
 		m := sensorMetrics[i.nanMetric[ctrl]%len(sensorMetrics)]
 		i.nanMetric[ctrl]++
 		poisonMetric(&s, m, i.spec.SpikeMag, true)
 		i.count("spike")
-		i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
-			"controller": ctrl, "class": "spike", "metric": m, "magnitude": i.spec.SpikeMag,
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
+				"controller": ctrl, "class": "spike", "metric": m, "magnitude": i.spec.SpikeMag,
+			})
+		}
 	}
 	if i.flap.hit(i.spec.Flap) {
 		hi := !i.flapHigh[ctrl]
@@ -423,9 +433,11 @@ func (i *Injector) PerturbSample(now float64, ctrl string, s perfmon.Sample) (pe
 			s.SocketSaturation[k] = v
 		}
 		i.count("flap")
-		i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
-			"controller": ctrl, "class": "flap", "value": v,
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultSensor, "faults", map[string]any{
+				"controller": ctrl, "class": "flap", "value": v,
+			})
+		}
 	}
 	return s, false
 }
@@ -498,21 +510,27 @@ func (i *Injector) gate(now float64, op string) actMode {
 	switch {
 	case r < i.spec.ActFail:
 		i.count("act.fail")
-		i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
-			"op": op, "mode": "fail",
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
+				"op": op, "mode": "fail",
+			})
+		}
 		return actFail
 	case r < i.spec.ActFail+i.spec.ActStick:
 		i.count("act.stick")
-		i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
-			"op": op, "mode": "stick",
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
+				"op": op, "mode": "stick",
+			})
+		}
 		return actStick
 	case r < i.spec.ActFail+i.spec.ActStick+i.spec.ActPartial:
 		i.count("act.partial")
-		i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
-			"op": op, "mode": "partial",
-		})
+		if i.rec.Enabled() {
+			i.rec.Emit(now, events.FaultActuator, "faults", map[string]any{
+				"op": op, "mode": "partial",
+			})
+		}
 		return actPartial
 	}
 	return actOK

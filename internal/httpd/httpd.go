@@ -321,13 +321,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	rec := s.agent.Events()
-	evs := rec.Since(since, types...)
+	// The limit is pushed into the recorder query so a poll with a small
+	// limit stops scanning (and copying) as soon as it is satisfied,
+	// instead of materializing the whole matching backlog first.
+	evs := rec.SinceLimit(since, limit, types...)
 	dropped := rec.Dropped()
 	s.mu.Unlock()
 
-	if limit > 0 && len(evs) > limit {
-		evs = evs[:limit]
-	}
 	next := since
 	if len(evs) > 0 {
 		next = evs[len(evs)-1].Seq

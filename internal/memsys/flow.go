@@ -108,6 +108,11 @@ type LinkState struct {
 }
 
 // Resolution is the memory system's outcome for one step.
+//
+// Ownership: resolutions returned by System.Resolve and System.Last are
+// backed by the system's scratch arena and stay valid until the
+// second-following Resolve call on the same system — the same rule as the
+// policy controllers' History() slices. Retain longer with Clone.
 type Resolution struct {
 	// Flows holds one result per submitted flow, in submission order.
 	Flows []FlowResult
@@ -120,6 +125,23 @@ type Resolution struct {
 	SocketSnoop []float64
 	// Links holds one entry per (from, to) socket pair with traffic.
 	Links []LinkState
+}
+
+// Clone returns a deep copy of the resolution, detached from the owning
+// system's scratch arena — for callers that retain a resolution across
+// more than one further Resolve call.
+func (r *Resolution) Clone() *Resolution {
+	if r == nil {
+		return nil
+	}
+	out := &Resolution{
+		Flows:              append([]FlowResult(nil), r.Flows...),
+		Controllers:        append([]ControllerState(nil), r.Controllers...),
+		SocketBackpressure: append([]float64(nil), r.SocketBackpressure...),
+		SocketSnoop:        append([]float64(nil), r.SocketSnoop...),
+		Links:              append([]LinkState(nil), r.Links...),
+	}
+	return out
 }
 
 // Controller returns the state of controller idx on the given socket.

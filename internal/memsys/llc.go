@@ -10,9 +10,11 @@ package memsys
 // a low-rate victim far beyond its footprint-proportional share. A flow's
 // hit fraction is the share of its footprint it kept resident.
 //
-// flows are indices into all; the returned slice is parallel to flows.
-func resolveLLC(cfg Config, all []Flow, flows []int) []float64 {
-	hits := make([]float64, len(flows))
+// flows are indices into all; hit fractions are written to hits, which is
+// indexed by flow index (hits[fi] for each fi in flows). The per-way
+// footprint/weight buffers come from the caller's arena so steady-state
+// resolution does not allocate.
+func resolveLLC(cfg Config, all []Flow, flows []int, hits []float64, a *arena) {
 	ways := cfg.LLCWays
 	wayBytes := cfg.LLCSize / float64(ways)
 	allMask := cfg.AllWays()
@@ -29,8 +31,9 @@ func resolveLLC(cfg Config, all []Flow, flows []int) []float64 {
 	}
 
 	// Per-way footprint (fit check) and weight (contended split).
-	wayFootprint := make([]float64, ways)
-	wayWeight := make([]float64, ways)
+	wayFootprint := growF(a.llcWayFootprint, ways)
+	wayWeight := growF(a.llcWayWeight, ways)
+	a.llcWayFootprint, a.llcWayWeight = wayFootprint, wayWeight
 	for _, fi := range flows {
 		f := all[fi]
 		if f.LLCFootprint <= 0 {
@@ -49,10 +52,10 @@ func resolveLLC(cfg Config, all []Flow, flows []int) []float64 {
 		}
 	}
 
-	for i, fi := range flows {
+	for _, fi := range flows {
 		f := all[fi]
 		if f.LLCFootprint <= 0 {
-			hits[i] = 1
+			hits[fi] = 1
 			continue
 		}
 		mask := f.LLCWayMask
@@ -82,9 +85,8 @@ func resolveLLC(cfg Config, all []Flow, flows []int) []float64 {
 		if h > 1 {
 			h = 1
 		}
-		hits[i] = h
+		hits[fi] = h
 	}
-	return hits
 }
 
 func popcount(x uint64) int {

@@ -8,12 +8,19 @@ import (
 )
 
 // System resolves memory traffic for a configured node. It is stateless
-// between steps except for caching the last resolution for inspection and,
-// when a flight recorder is attached, the per-controller signal state used
-// to detect distress and saturation transitions.
+// between steps except for caching the last resolution for inspection,
+// a reusable scratch arena that makes steady-state Resolve allocation-free,
+// and, when a flight recorder is attached, the per-controller signal state
+// used to detect distress and saturation transitions.
 type System struct {
 	cfg  Config
 	last *Resolution
+
+	// arena holds every intermediate buffer Resolve needs, sized once per
+	// flow-set shape and reused across calls. Resolve is the innermost loop
+	// of every experiment (10,000 calls per simulated second per cell), so
+	// the hot path must not allocate in steady state; see docs/PERFORMANCE.md.
+	arena arena
 
 	// events, when non-nil, receives distress assert/deassert and
 	// saturation-crossing transitions; now supplies the simulated
@@ -24,6 +31,47 @@ type System struct {
 	// the previous resolution, so only transitions are emitted.
 	prevDistress  []bool
 	prevSaturated []bool
+}
+
+// arena is the scratch space of one System. Buffers grow to the largest
+// shape seen and are then reused; the two Resolution buffers alternate so
+// that the value returned by one Resolve (and by Last) stays valid until
+// the second-following Resolve — the same caller-must-copy ownership rule
+// as the policy controllers' History() slices. Callers that retain a
+// resolution longer must Clone it.
+type arena struct {
+	res [2]Resolution
+	cur int
+
+	hit, dram                     []float64
+	offeredHi, offeredLo          []float64
+	linkOffered, linkCap          []float64
+	linkGrant, linkAdder          []float64
+	gHi, gLo, latHi, latLo        []float64
+	llcIdx                        []int
+	llcWayFootprint, llcWayWeight []float64
+}
+
+// growF returns buf resliced to n zeroed elements, reallocating only when
+// capacity is insufficient. The explicit clear loop compiles to memclr.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// sizedF is growF without the zeroing, for buffers every element of which
+// is unconditionally assigned before being read.
+func sizedF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // NewSystem returns a memory system for cfg.
@@ -55,6 +103,9 @@ func (s *System) SetSNC(on bool) { s.cfg.SNCEnabled = on }
 func (s *System) SetFineGrainedQoS(on bool) { s.cfg.FineGrainedQoS = on }
 
 // Last returns the most recent resolution, or nil before the first step.
+// The returned value is owned by the System and remains valid until the
+// second-following Resolve call (the two internal buffers alternate);
+// callers that retain it longer must Clone it.
 func (s *System) Last() *Resolution { return s.last }
 
 // SetEvents attaches a flight recorder; now supplies the simulated
@@ -141,6 +192,14 @@ func (s *System) remoteTarget(socket int) int {
 
 // Resolve computes bandwidth grants, latencies, LLC residency, distress and
 // backpressure for one step's flows.
+//
+// The returned Resolution is owned by the System: it stays valid until the
+// second-following Resolve call, after which its buffers are reused (the
+// same ownership rule as the policy controllers' History() slices). Callers
+// that retain a resolution across more than one further step must Clone it.
+// Steady-state Resolve performs no heap allocation once the scratch arena
+// has grown to the flow-set shape (pinned by BenchmarkResolveSteady and
+// TestResolveSteadyStateAllocs).
 func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 	cfg := s.cfg
 	for i := range flows {
@@ -149,35 +208,47 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 		}
 	}
 
-	res := &Resolution{
-		Flows:              make([]FlowResult, len(flows)),
-		SocketBackpressure: make([]float64, cfg.Sockets),
+	a := &s.arena
+	nCtl := cfg.Sockets * cfg.ControllersPerSocket
+	res := &a.res[a.cur]
+	a.cur = 1 - a.cur
+	if cap(res.Flows) < len(flows) {
+		res.Flows = make([]FlowResult, len(flows))
 	}
+	res.Flows = res.Flows[:len(flows)]
+	if cap(res.Controllers) < nCtl {
+		res.Controllers = make([]ControllerState, nCtl)
+	}
+	res.Controllers = res.Controllers[:nCtl]
+	res.SocketBackpressure = sizedF(res.SocketBackpressure, cfg.Sockets)
+	res.SocketSnoop = sizedF(res.SocketSnoop, cfg.Sockets)
+	res.Links = res.Links[:0]
 
 	// 1. LLC residency per socket.
-	hit := make([]float64, len(flows))
+	hit := sizedF(a.hit, len(flows))
+	a.hit = hit
 	for sock := 0; sock < cfg.Sockets; sock++ {
-		var idx []int
+		idx := a.llcIdx[:0]
 		for i := range flows {
 			if flows[i].Socket == sock {
 				idx = append(idx, i)
 			}
 		}
-		hs := resolveLLC(cfg, flows, idx)
-		for j, fi := range idx {
-			hit[fi] = hs[j]
-		}
+		a.llcIdx = idx
+		resolveLLC(cfg, flows, idx, hit, a)
 	}
 
 	// 2. Route DRAM traffic to controllers and the interconnect. Traffic
 	// is tracked per priority class so the fine-grained QoS mode can serve
 	// high-priority requests first; with the mode off the classes are
-	// granted identically.
-	nCtl := cfg.Sockets * cfg.ControllersPerSocket
-	offeredHi := make([]float64, nCtl)
-	offeredLo := make([]float64, nCtl)
-	linkOffered := make([]float64, cfg.Sockets) // by source socket
-	dram := make([]float64, len(flows))
+	// granted identically. A flow's local routing is derived from the flow
+	// itself (its home controller under SNC, the socket's controllers
+	// interleaved otherwise), so no per-flow route records are built.
+	offeredHi := growF(a.offeredHi, nCtl)
+	offeredLo := growF(a.offeredLo, nCtl)
+	linkOffered := growF(a.linkOffered, cfg.Sockets) // by source socket
+	dram := sizedF(a.dram, len(flows))
+	a.offeredHi, a.offeredLo, a.linkOffered, a.dram = offeredHi, offeredLo, linkOffered, dram
 	isHi := func(f Flow) bool { return cfg.FineGrainedQoS && f.HighPriority }
 	addOffered := func(f Flow, c int, v float64) {
 		if isHi(f) {
@@ -186,12 +257,6 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 			offeredLo[c] += v
 		}
 	}
-	// localShare[i][c] is the fraction of flow i's local traffic on ctl c.
-	type route struct {
-		localCtls  []int
-		localShare float64 // per listed controller
-	}
-	routes := make([]route, len(flows))
 
 	ctlIndex := func(sock, idx int) int { return sock*cfg.ControllersPerSocket + idx }
 
@@ -205,19 +270,13 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 		local := d * (1 - f.RemoteFrac)
 		remote := d * f.RemoteFrac
 
-		var r route
 		if cfg.SNCEnabled {
-			r.localCtls = []int{ctlIndex(f.Socket, f.Subdomain)}
-			r.localShare = 1
+			addOffered(f, ctlIndex(f.Socket, f.Subdomain), local)
 		} else {
+			share := local * (1 / float64(cfg.ControllersPerSocket))
 			for c := 0; c < cfg.ControllersPerSocket; c++ {
-				r.localCtls = append(r.localCtls, ctlIndex(f.Socket, c))
+				addOffered(f, ctlIndex(f.Socket, c), share)
 			}
-			r.localShare = 1 / float64(cfg.ControllersPerSocket)
-		}
-		routes[i] = r
-		for _, c := range r.localCtls {
-			addOffered(f, c, local*r.localShare)
 		}
 		if remote > 0 && cfg.Sockets > 1 {
 			linkOffered[f.Socket] += remote
@@ -225,7 +284,8 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 	}
 
 	// Second pass: deliver link-capped remote traffic to home controllers.
-	linkCap := make([]float64, cfg.Sockets)
+	linkCap := sizedF(a.linkCap, cfg.Sockets)
+	a.linkCap = linkCap
 	for sock := range linkCap {
 		linkCap[sock] = 1
 		if linkOffered[sock] > cfg.LinkBW {
@@ -245,11 +305,11 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 	}
 
 	// 3. Controller states and per-class grant ratios / latencies.
-	res.Controllers = make([]ControllerState, nCtl)
-	gHi := make([]float64, nCtl)
-	gLo := make([]float64, nCtl)
-	latHi := make([]float64, nCtl)
-	latLo := make([]float64, nCtl)
+	gHi := sizedF(a.gHi, nCtl)
+	gLo := sizedF(a.gLo, nCtl)
+	latHi := sizedF(a.latHi, nCtl)
+	latLo := sizedF(a.latLo, nCtl)
+	a.gHi, a.gLo, a.latHi, a.latLo = gHi, gLo, latHi, latLo
 	for c := 0; c < nCtl; c++ {
 		capac := cfg.BWPerController
 		offHi, offLo := offeredHi[c], offeredLo[c]
@@ -301,10 +361,12 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 	}
 
 	// 4. Link states (one per source socket with traffic).
-	linkGrant := make([]float64, cfg.Sockets)
-	linkAdder := make([]float64, cfg.Sockets)
+	linkGrant := sizedF(a.linkGrant, cfg.Sockets)
+	linkAdder := sizedF(a.linkAdder, cfg.Sockets)
+	a.linkGrant, a.linkAdder = linkGrant, linkAdder
 	for sock := 0; sock < cfg.Sockets; sock++ {
 		linkGrant[sock] = 1
+		linkAdder[sock] = 0
 		if linkOffered[sock] <= 0 {
 			continue
 		}
@@ -326,7 +388,6 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 	// on the socket, regardless of subdomain (paper §IV-B). Cross-socket
 	// coherence traffic additionally stalls every core on both endpoint
 	// sockets (paper §VI-A) in proportion to link load.
-	res.SocketSnoop = make([]float64, cfg.Sockets)
 	for sock := 0; sock < cfg.Sockets; sock++ {
 		res.SocketBackpressure[sock] = 1 - cfg.MaxBackpressure*res.MaxDistress(sock)
 		crossing := linkOffered[sock]
@@ -343,17 +404,26 @@ func (s *System) Resolve(flows []Flow) (*Resolution, error) {
 		res.SocketSnoop[sock] = snoop
 	}
 
-	// 6. Per-flow results, using the flow's priority class.
+	// 6. Per-flow results, using the flow's priority class. The local
+	// routing mirrors pass 1: the home controller under SNC, the socket's
+	// controllers in equal shares otherwise.
 	for i, f := range flows {
-		r := routes[i]
 		classG, classLat := gLo, latLo
 		if isHi(f) {
 			classG, classLat = gHi, latHi
 		}
 		var gLocal, latLocal float64
-		for _, c := range r.localCtls {
-			gLocal += classG[c] * r.localShare
-			latLocal += classLat[c] * r.localShare
+		if cfg.SNCEnabled {
+			c := ctlIndex(f.Socket, f.Subdomain)
+			gLocal = classG[c]
+			latLocal = classLat[c]
+		} else {
+			share := 1 / float64(cfg.ControllersPerSocket)
+			for c := 0; c < cfg.ControllersPerSocket; c++ {
+				ci := ctlIndex(f.Socket, c)
+				gLocal += classG[ci] * share
+				latLocal += classLat[ci] * share
+			}
 		}
 		if cfg.SNCEnabled {
 			latLocal *= cfg.SNCLocalLatencyFactor

@@ -1,0 +1,77 @@
+package node
+
+import (
+	"testing"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/workload"
+)
+
+// benchNode builds a node with a realistic colocation: a high-priority
+// accelerated task plus three best-effort antagonists across both sockets.
+func benchNode(b testing.TB) *Node {
+	b.Helper()
+	n, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	add := func(name, group string, prio cgroup.Priority, cores []int, bw float64) {
+		if _, err := n.Cgroups().Create(group, prio); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Cgroups().SetCPUs(group, cores); err != nil {
+			b.Fatal(err)
+		}
+		l, err := workload.NewLoop(name, workload.LoopConfig{
+			Threads:  len(cores),
+			UnitWork: 1e-3,
+			Mem: workload.MemProfile{
+				StreamBWPerCore:    bw,
+				LLCFootprint:       16e6,
+				LLCRefBWPerCore:    workload.GB,
+				LatencySensitivity: 0.5,
+				BWSensitivity:      0.5,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.AddTask(l, group); err != nil {
+			b.Fatal(err)
+		}
+	}
+	add("ml", "hi", cgroup.High, []int{0, 1, 2, 3}, 3*workload.GB)
+	add("bf", "bf", cgroup.Low, []int{4, 5}, 2*workload.GB)
+	add("lo1", "lo1", cgroup.Low, []int{6, 7, 8, 9}, 4*workload.GB)
+	add("lo2", "lo2", cgroup.Low, []int{10, 11}, 2*workload.GB)
+	return n
+}
+
+// BenchmarkNodeStep measures one full node pipeline tick — offer
+// collection, cgroup timesharing, memory-system resolution, rate
+// distribution, task advance — the 100µs inner loop of every experiment.
+// Steady state must not allocate on the node/memsys side of the pipeline.
+func BenchmarkNodeStep(b *testing.B) {
+	n := benchNode(b)
+	// Warm the scratch arenas so the timed region is pure steady state.
+	n.Run(10 * n.cfg.Step)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.engine.Tick()
+	}
+}
+
+// TestNodeStepSteadyStateAllocs pins the allocation-free node tick: after
+// warmup, one engine tick (node pipeline + memsys resolve) performs zero
+// heap allocations.
+func TestNodeStepSteadyStateAllocs(t *testing.T) {
+	n := benchNode(t)
+	n.Run(10 * n.cfg.Step)
+	avg := testing.AllocsPerRun(200, func() {
+		n.engine.Tick()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state node tick allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -122,6 +122,14 @@ type Node struct {
 
 	// distressEWMA backs the hardware prefetch governor's smoothing.
 	distressEWMA map[int]float64
+
+	// Step scratch, reused every tick so the steady-state node pipeline
+	// does not allocate (see docs/PERFORMANCE.md). Sized to the task set;
+	// regrown only when tasks are added.
+	scratchOffers    []workload.Offer
+	scratchEffective []float64
+	scratchFlows     []memsys.Flow
+	scratchDemand    map[*cgroup.Group]float64
 }
 
 // New builds a node.
@@ -248,7 +256,13 @@ func (n *Node) RemoveTask(name string) error {
 	delete(n.byName, name)
 	for i, cur := range n.tasks {
 		if cur == bt {
-			n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+			copy(n.tasks[i:], n.tasks[i+1:])
+			// Zero the vacated tail slot: the shift-delete otherwise leaves
+			// a stale *boundTask in the backing array, keeping the removed
+			// task (and its cgroup) reachable by the GC for as long as the
+			// slice lives.
+			n.tasks[len(n.tasks)-1] = nil
+			n.tasks = n.tasks[:len(n.tasks)-1]
 			break
 		}
 	}
@@ -366,14 +380,23 @@ func (n *Node) Step(now sim.Time, dt sim.Duration) {
 	// Pass 1: offers and per-group demand, for timesharing. Two tasks in
 	// one cgroup contend for its cpuset like real cgroup siblings: when the
 	// group is oversubscribed each task gets a proportional core share.
-	offers := make([]workload.Offer, len(n.tasks))
-	groupDemand := make(map[*cgroup.Group]float64, 4)
+	// All pass-local buffers live on the node and are reused every tick.
+	if cap(n.scratchOffers) < len(n.tasks) {
+		n.scratchOffers = make([]workload.Offer, len(n.tasks))
+		n.scratchEffective = make([]float64, len(n.tasks))
+	}
+	offers := n.scratchOffers[:len(n.tasks)]
+	effective := n.scratchEffective[:len(n.tasks)]
+	if n.scratchDemand == nil {
+		n.scratchDemand = make(map[*cgroup.Group]float64, 4)
+	}
+	groupDemand := n.scratchDemand
+	clear(groupDemand)
 	for i, bt := range n.tasks {
 		capacity := float64(bt.group.CPUs().Len())
 		offers[i] = bt.task.Offer(now, capacity)
 		groupDemand[bt.group] += offers[i].ActiveCores
 	}
-	effective := make([]float64, len(n.tasks))
 	for i, bt := range n.tasks {
 		capacity := float64(bt.group.CPUs().Len())
 		eff := offers[i].ActiveCores
@@ -383,7 +406,7 @@ func (n *Node) Step(now sim.Time, dt sim.Duration) {
 		effective[i] = eff
 	}
 
-	var fl []memsys.Flow
+	fl := n.scratchFlows[:0]
 	for i, bt := range n.tasks {
 		bt.hasFlow = false
 		off := offers[i]
@@ -433,6 +456,7 @@ func (n *Node) Step(now sim.Time, dt sim.Duration) {
 		bt.hasFlow = true
 		bt.flowIdx = len(fl) - 1
 	}
+	n.scratchFlows = fl
 
 	// 2. Resolve the memory system. Flows were validated at construction;
 	// an error here is a programming bug.

@@ -27,10 +27,12 @@ func (d *degradeState) fault(n *node.Node, now float64) (entered bool) {
 	if !d.guard.Fault() {
 		return false
 	}
-	n.Events().Emit(now, events.DegradeEnter, d.name, map[string]any{
-		"controller":         d.name,
-		"consecutive_faults": d.guard.EnterAfter,
-	})
+	if rec := n.Events(); rec.Enabled() {
+		rec.Emit(now, events.DegradeEnter, d.name, map[string]any{
+			"controller":         d.name,
+			"consecutive_faults": d.guard.EnterAfter,
+		})
+	}
 	return true
 }
 
@@ -40,26 +42,32 @@ func (d *degradeState) clean(n *node.Node, now float64) (exited bool) {
 	if !d.guard.Clean() {
 		return false
 	}
-	n.Events().Emit(now, events.DegradeExit, d.name, map[string]any{
-		"controller":    d.name,
-		"clean_periods": d.guard.ExitAfter,
-	})
+	if rec := n.Events(); rec.Enabled() {
+		rec.Emit(now, events.DegradeExit, d.name, map[string]any{
+			"controller":    d.name,
+			"clean_periods": d.guard.ExitAfter,
+		})
+	}
 	return true
 }
 
 // reject emits sensor.reject for a sample the sanitizer refused.
 func (d *degradeState) reject(n *node.Node, now float64, err error) {
-	n.Events().Emit(now, events.SensorReject, d.name, map[string]any{
-		"reason": err.Error(),
-	})
+	if rec := n.Events(); rec.Enabled() {
+		rec.Emit(now, events.SensorReject, d.name, map[string]any{
+			"reason": err.Error(),
+		})
+	}
 }
 
 // actuateError emits actuate.error for an enforcement write that failed
 // after read-back verification and retry.
 func (d *degradeState) actuateError(n *node.Node, now float64, err error) {
-	n.Events().Emit(now, events.ActuateError, d.name, map[string]any{
-		"error": err.Error(),
-	})
+	if rec := n.Events(); rec.Enabled() {
+		rec.Emit(now, events.ActuateError, d.name, map[string]any{
+			"error": err.Error(),
+		})
+	}
 }
 
 // sanityBounds derives sample plausibility limits from the throttler-style

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# bench.sh — run the performance suite and emit a BENCH_<date>.json snapshot.
+#
+# Usage:
+#   scripts/bench.sh              # micro + headline figure benchmarks
+#   scripts/bench.sh -quick       # everything at -benchtime=1x (CI smoke)
+#   scripts/bench.sh -micro       # hot-path microbenchmarks only
+#   BENCH_OUT=out.json scripts/bench.sh
+#
+# The snapshot records ns/op, B/op, allocs/op and every custom metric
+# (the BenchmarkFigure* headline numbers) per benchmark, so successive
+# PRs have a perf trajectory to compare against. Reading and updating the
+# snapshot is documented in docs/PERFORMANCE.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+for arg in "$@"; do
+	case "$arg" in
+	-quick) MODE=quick ;;
+	-micro) MODE=micro ;;
+	*)
+		echo "bench.sh: unknown argument $arg" >&2
+		exit 2
+		;;
+	esac
+done
+
+OUT=${BENCH_OUT:-BENCH_$(date +%F).json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# Hot-path microbenchmarks: the allocation-free simulation step and the
+# zero-cost disabled instrumentation path.
+MICRO_PKGS="./internal/memsys ./internal/node ./internal/sim ./internal/events"
+MICRO_BENCH='BenchmarkResolve|BenchmarkNodeStep|BenchmarkEngineTick|BenchmarkEmit'
+
+case "$MODE" in
+quick)
+	go test -run='^$' -bench="$MICRO_BENCH" -benchtime=1x -benchmem $MICRO_PKGS | tee "$RAW"
+	;;
+micro)
+	go test -run='^$' -bench="$MICRO_BENCH" -benchmem $MICRO_PKGS | tee "$RAW"
+	;;
+full)
+	go test -run='^$' -bench="$MICRO_BENCH" -benchmem $MICRO_PKGS | tee "$RAW"
+	# Headline figure benchmarks: one full run each — the custom metrics
+	# (figure headline numbers) are what the snapshot tracks.
+	go test -run='^$' -bench='BenchmarkFigure|BenchmarkTable' -benchtime=1x -benchmem . | tee -a "$RAW"
+	;;
+esac
+
+# Render the raw `go test -bench` output as JSON. Benchmark lines are
+#   Name-N  <iters>  <value> <unit>  <value> <unit> ...
+# and `pkg:` lines scope the names.
+awk -v date="$(date +%F)" -v goversion="$(go version | cut -d' ' -f3)" -v mode="$MODE" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"mode\": \"%s\",\n  \"benchmarks\": [", date, goversion, mode }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ","
+	printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {", pkg, name, $2
+	m = 0
+	for (i = 3; i < NF; i += 2) {
+		if (m++) printf ", "
+		printf "\"%s\": %s", $(i + 1), $i
+	}
+	printf "}}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" >"$OUT"
+
+echo "snapshot: $OUT"
