@@ -64,7 +64,12 @@ func main() {
 	cfaultsFlag := flag.String("cfaults", "", "custom cluster fault spec for -exp clusterfaults (see docs/CLUSTER.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	coldStart := flag.Bool("coldstart", false, "disable incremental resolve and warm-started sweep cells (re-simulate everything; output is identical, only slower)")
 	flag.Parse()
+
+	if *coldStart {
+		experiments.SetWarmStart(false)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -112,11 +117,20 @@ func main() {
 
 	h := experiments.NewHarness()
 	h.Parallel = *parallel
+	if *coldStart {
+		h.Node.NoIncremental = true
+	}
 	if *eventsPath != "" {
 		// A merged stream from concurrent cells would interleave
 		// nondeterministically, so recording forces the serial sweep.
 		if *parallel != 1 {
-			fmt.Fprintln(os.Stderr, "kelpbench: -events forces -parallel 1 for a deterministic stream")
+			requested := "the default (one cell per CPU)"
+			if *parallel != 0 {
+				requested = fmt.Sprintf("-parallel %d", *parallel)
+			}
+			fmt.Fprintf(os.Stderr,
+				"kelpbench: -events forces -parallel 1 for a deterministic stream, overriding %s\n",
+				requested)
 		}
 		h.Parallel = 1
 		h.Events = events.MustNew(1 << 20)

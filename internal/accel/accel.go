@@ -174,6 +174,11 @@ func NewDevice(p Platform) (*Device, error) {
 // BusyUntil returns when the engine frees up.
 func (d *Device) BusyUntil() float64 { return d.busyUntil }
 
+// SetBusyUntil overwrites the engine-free time. This is the restore hook
+// for simulation snapshots (the experiments layer's warm-started sweep
+// cells); simulation code advances the device through Reserve only.
+func (d *Device) SetBusyUntil(t float64) { d.busyUntil = t }
+
 // Reserve schedules work units on the engine starting no earlier than now,
 // returning when that work will finish. Requests are served FIFO.
 func (d *Device) Reserve(now, work float64) (finish float64) {

@@ -79,6 +79,10 @@ func (g *Group) MBAPercent() int {
 type Manager struct {
 	proc   *cpu.Processor
 	groups map[string]*Group
+	// gen counts effective group mutations (create, remove, and every
+	// setter that changes a field); the node's clean-tick fast path
+	// compares generations to detect actuations between steps.
+	gen uint64
 }
 
 // NewManager returns a manager bound to the node's processor.
@@ -97,8 +101,13 @@ func (m *Manager) Create(name string, prio Priority) (*Group, error) {
 	}
 	g := &Group{name: name, priority: prio}
 	m.groups[name] = g
+	m.gen++
 	return g, nil
 }
+
+// Gen returns the group-state generation, incremented by every effective
+// mutation. Equal generations guarantee identical group state.
+func (m *Manager) Gen() uint64 { return m.gen }
 
 // Group returns the named group.
 func (m *Manager) Group(name string) (*Group, error) {
@@ -115,6 +124,7 @@ func (m *Manager) Remove(name string) error {
 		return fmt.Errorf("cgroup: no group %q", name)
 	}
 	delete(m.groups, name)
+	m.gen++
 	return nil
 }
 
@@ -143,8 +153,23 @@ func (m *Manager) SetCPUs(name string, cpus cpu.Set) error {
 			return fmt.Errorf("cgroup: group %q: %w", name, err)
 		}
 	}
+	if !setsEqual(g.cpus, cpus) {
+		m.gen++
+	}
 	g.cpus = append(cpu.Set(nil), cpus...)
 	return nil
+}
+
+func setsEqual(a, b cpu.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetMemPolicy binds a group's memory to (socket, subdomain).
@@ -160,6 +185,9 @@ func (m *Manager) SetMemPolicy(name string, pol MemPolicy) error {
 	if pol.Subdomain < 0 || pol.Subdomain >= topo.SubdomainsPerSocket {
 		return fmt.Errorf("cgroup: group %q: subdomain %d out of range", name, pol.Subdomain)
 	}
+	if g.mem != pol {
+		m.gen++
+	}
 	g.mem = pol
 	return nil
 }
@@ -171,6 +199,9 @@ func (m *Manager) SetPriority(name string, prio Priority) error {
 	if err != nil {
 		return err
 	}
+	if g.priority != prio {
+		m.gen++
+	}
 	g.priority = prio
 	return nil
 }
@@ -180,6 +211,9 @@ func (m *Manager) SetLLCWays(name string, mask uint64) error {
 	g, err := m.Group(name)
 	if err != nil {
 		return err
+	}
+	if g.llcWays != mask {
+		m.gen++
 	}
 	g.llcWays = mask
 	return nil
@@ -197,6 +231,9 @@ func (m *Manager) SetMBA(name string, percent int) error {
 	}
 	if percent < 10 || percent > 100 || percent%10 != 0 {
 		return fmt.Errorf("cgroup: group %q: MBA percent %d (want 10..100 step 10)", name, percent)
+	}
+	if g.mba != percent {
+		m.gen++
 	}
 	g.mba = percent
 	return nil
@@ -238,6 +275,56 @@ func (m *Manager) SetPrefetchCount(name string, n int) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// GroupState is a snapshot of one group's control settings, used by the
+// node-level warm-start snapshot (docs/PERFORMANCE.md).
+type GroupState struct {
+	Name     string
+	Priority Priority
+	CPUs     cpu.Set
+	Mem      MemPolicy
+	LLCWays  uint64
+	MBA      int
+}
+
+// State snapshots every group's settings, sorted by name.
+func (m *Manager) State() []GroupState {
+	gs := m.Groups()
+	out := make([]GroupState, len(gs))
+	for i, g := range gs {
+		out[i] = GroupState{
+			Name:     g.name,
+			Priority: g.priority,
+			CPUs:     append(cpu.Set(nil), g.cpus...),
+			Mem:      g.mem,
+			LLCWays:  g.llcWays,
+			MBA:      g.mba,
+		}
+	}
+	return out
+}
+
+// Restore installs a snapshot taken by State. Every snapshotted group must
+// already exist (warm-start rebuilds the cell's groups deterministically
+// before restoring); extra groups are left untouched.
+func (m *Manager) Restore(st []GroupState) error {
+	for _, s := range st {
+		g, ok := m.groups[s.Name]
+		if !ok {
+			return fmt.Errorf("cgroup: restore: no group %q", s.Name)
+		}
+		if g.priority != s.Priority || !setsEqual(g.cpus, s.CPUs) || g.mem != s.Mem ||
+			g.llcWays != s.LLCWays || g.mba != s.MBA {
+			m.gen++
+		}
+		g.priority = s.Priority
+		g.cpus = append(cpu.Set(nil), s.CPUs...)
+		g.mem = s.Mem
+		g.llcWays = s.LLCWays
+		g.mba = s.MBA
+	}
+	return nil
 }
 
 // PrefetchersOn counts cores in the group with prefetchers enabled.

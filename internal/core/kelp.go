@@ -508,6 +508,38 @@ func (r *Runtime) configLoPriority(a Action) {
 	}
 }
 
+// RuntimeState is an opaque snapshot of the runtime's mutable control
+// state, used by the experiments layer's warm-started sweep cells. Actuator
+// effects (cpusets, prefetch flags) are captured by the node snapshot; this
+// carries only what the runtime itself remembers.
+type RuntimeState struct {
+	backfillCores, lowCores, lowPrefetchers int
+	guard                                   Guard
+	history                                 []Decision
+}
+
+// Snapshot captures the runtime's control state.
+func (r *Runtime) Snapshot() RuntimeState {
+	return RuntimeState{
+		backfillCores:  r.backfillCores,
+		lowCores:       r.lowCores,
+		lowPrefetchers: r.lowPrefetchers,
+		guard:          r.guard,
+		history:        append([]Decision(nil), r.history...),
+	}
+}
+
+// Restore installs a snapshot taken by Snapshot on a runtime built from the
+// same configuration. It does not actuate: the node snapshot restores the
+// cgroup state the runtime had enforced.
+func (r *Runtime) Restore(st RuntimeState) {
+	r.backfillCores = st.backfillCores
+	r.lowCores = st.lowCores
+	r.lowPrefetchers = st.lowPrefetchers
+	r.guard = st.guard
+	r.history = append(r.history[:0], st.history...)
+}
+
 // enforce pushes the current actuator values through the cgroup interface
 // (Algorithm 1, EnforceConfig). Writes are routed through the node's fault
 // injector, which adds read-back verification and bounded retry when

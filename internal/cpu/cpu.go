@@ -70,6 +70,9 @@ type Core struct {
 type Processor struct {
 	topo  Topology
 	cores []Core
+	// gen counts prefetcher-state mutations; the node's clean-tick fast
+	// path compares generations to detect actuations between steps.
+	gen uint64
 }
 
 // NewProcessor builds a processor for the topology. Core IDs are dense:
@@ -120,7 +123,39 @@ func (p *Processor) SetPrefetch(id int, on bool) error {
 	if id < 0 || id >= len(p.cores) {
 		return fmt.Errorf("cpu: core %d out of range", id)
 	}
-	p.cores[id].PrefetchOn = on
+	if p.cores[id].PrefetchOn != on {
+		p.cores[id].PrefetchOn = on
+		p.gen++
+	}
+	return nil
+}
+
+// Gen returns the prefetcher-state generation, incremented by every
+// effective SetPrefetch (a write that changes a core's flag). Equal
+// generations guarantee identical prefetcher state.
+func (p *Processor) Gen() uint64 { return p.gen }
+
+// PrefetchState returns a copy of every core's prefetcher flag, indexed by
+// core ID — the processor's snapshotable mutable state.
+func (p *Processor) PrefetchState() []bool {
+	st := make([]bool, len(p.cores))
+	for i, c := range p.cores {
+		st[i] = c.PrefetchOn
+	}
+	return st
+}
+
+// RestorePrefetchState installs a snapshot taken by PrefetchState.
+func (p *Processor) RestorePrefetchState(st []bool) error {
+	if len(st) != len(p.cores) {
+		return fmt.Errorf("cpu: snapshot has %d cores, processor has %d", len(st), len(p.cores))
+	}
+	for i := range p.cores {
+		if p.cores[i].PrefetchOn != st[i] {
+			p.cores[i].PrefetchOn = st[i]
+			p.gen++
+		}
+	}
 	return nil
 }
 

@@ -263,12 +263,21 @@ func coherenceFor(cfg node.Config, m MLKind) node.Config {
 	return cfg
 }
 
-// Run executes one scenario and returns raw measurements.
-func Run(s Scenario) (*Result, error) {
-	if s.Warmup <= 0 || s.Measure <= 0 {
-		return nil, fmt.Errorf("experiments: warmup/measure must be positive")
-	}
-	cfg := coherenceFor(s.Node, s.ML)
+// cell is one fully constructed scenario instance, ready to warm up and
+// measure.
+type cell struct {
+	n        *node.Node
+	ml       workload.Task
+	lowTasks []workload.Task
+	applied  *policy.Applied
+	inj      *faults.Injector
+}
+
+// buildCell constructs a scenario's node, policy, and tasks. Construction
+// is deterministic in (cfg, s): two cells built from equal inputs are
+// indistinguishable, which is what lets warm-start restore a snapshot taken
+// on one cell onto another.
+func buildCell(cfg node.Config, s Scenario) (*cell, error) {
 	n, err := node.New(cfg)
 	if err != nil {
 		return nil, err
@@ -329,22 +338,35 @@ func Run(s Scenario) (*Result, error) {
 		}
 		lowTasks = append(lowTasks, t)
 	}
+	return &cell{n: n, ml: ml, lowTasks: lowTasks, applied: applied, inj: inj}, nil
+}
 
-	n.Run(s.Warmup)
-	n.StartMeasurement()
-	n.Run(s.Measure)
-
-	now := n.Now()
-	res := &Result{
-		MLThroughput: ml.Throughput(now),
-		PerTask:      make(map[string]float64, len(lowTasks)),
-		Applied:      applied,
-		Faults:       inj,
+// Run executes one scenario and returns raw measurements.
+func Run(s Scenario) (*Result, error) {
+	if s.Warmup <= 0 || s.Measure <= 0 {
+		return nil, fmt.Errorf("experiments: warmup/measure must be positive")
 	}
-	if inf, ok := ml.(*workload.Inference); ok {
+	cfg := coherenceFor(s.Node, s.ML)
+	c, err := buildCell(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+
+	c.warm(s, cfg)
+	c.n.StartMeasurement()
+	c.n.Run(s.Measure)
+
+	now := c.n.Now()
+	res := &Result{
+		MLThroughput: c.ml.Throughput(now),
+		PerTask:      make(map[string]float64, len(c.lowTasks)),
+		Applied:      c.applied,
+		Faults:       c.inj,
+	}
+	if inf, ok := c.ml.(*workload.Inference); ok {
 		res.MLTail = inf.TailLatency(0.95)
 	}
-	for _, t := range lowTasks {
+	for _, t := range c.lowTasks {
 		tp := t.Throughput(now)
 		res.PerTask[t.Name()] = tp
 		res.CPUUnits += tp

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"kelp/internal/events"
+	"kelp/internal/faults"
+	"kelp/internal/policy"
+	"kelp/internal/sim"
+)
+
+// warmScenario is one quick-window cell used by the warm-start tests.
+func warmScenario(m MLKind, k policy.Kind) Scenario {
+	return Scenario{
+		ML:      m,
+		CPU:     StitchSweep(3),
+		Policy:  k,
+		Opts:    policy.DefaultOptions(),
+		Node:    NewHarness().Node,
+		Warmup:  1500 * sim.Millisecond,
+		Measure: 1 * sim.Second,
+	}
+}
+
+// resultStats flattens everything a table reads from a Result into one
+// comparable map.
+func resultStats(r *Result) map[string]float64 {
+	out := map[string]float64{
+		"ml":   r.MLThroughput,
+		"tail": r.MLTail,
+		"cpu":  r.CPUUnits,
+	}
+	for name, v := range r.PerTask {
+		out["task:"+name] = v
+	}
+	return out
+}
+
+func cacheSize() int {
+	warmCache.Lock()
+	defer warmCache.Unlock()
+	return len(warmCache.entries)
+}
+
+// TestWarmStartColdEquivalence pins the PR's headline invariant: a
+// warm-started, incrementally-resolved run is byte-identical to a fully
+// cold one — across both SNC modes (KP/KP-SD partition the socket, BL/CT
+// leave it interleaved) and for both the training and the inference
+// snapshot paths. Three runs per cell: the cold reference (warm-start off,
+// incremental resolution off), the first warm run (simulates warmup and
+// publishes the snapshot), and the second (restores the snapshot).
+func TestWarmStartColdEquivalence(t *testing.T) {
+	defer SetWarmStart(true)
+	cases := []struct {
+		ml MLKind
+		k  policy.Kind
+	}{
+		{CNN1, policy.Baseline},
+		{CNN1, policy.CoreThrottle},
+		{CNN1, policy.KelpSubdomain},
+		{CNN1, policy.Kelp},
+		{RNN1, policy.Kelp}, // inference: queues, histograms, device state
+	}
+	for _, tc := range cases {
+		s := warmScenario(tc.ml, tc.k)
+
+		SetWarmStart(false)
+		cold := s
+		cold.Node.NoIncremental = true
+		want, err := Run(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		SetWarmStart(true)
+		ResetWarmCache()
+		first, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for name, r := range map[string]*Result{"warmup-simulated": first, "snapshot-restored": second} {
+			if !reflect.DeepEqual(resultStats(r), resultStats(want)) {
+				t.Errorf("%s/%s: %s run diverged from cold run:\n got: %+v\nwant: %+v",
+					tc.ml, tc.k, name, resultStats(r), resultStats(want))
+			}
+		}
+		// The actuator traces must match too, not just the scored numbers.
+		if want.Applied.Runtime != nil {
+			if !reflect.DeepEqual(second.Applied.Runtime.History(), want.Applied.Runtime.History()) {
+				t.Errorf("%s/%s: restored run's decision history diverged from cold run", tc.ml, tc.k)
+			}
+		}
+		if want.Applied.Throttler != nil {
+			if !reflect.DeepEqual(second.Applied.Throttler.History(), want.Applied.Throttler.History()) {
+				t.Errorf("%s/%s: restored run's throttle history diverged from cold run", tc.ml, tc.k)
+			}
+		}
+	}
+}
+
+// TestWarmStartPublishesAndShares pins the cache mechanics: the first run
+// of a configuration publishes exactly one snapshot, and an identical
+// second run is served from the same slot rather than splitting the key.
+func TestWarmStartPublishesAndShares(t *testing.T) {
+	defer SetWarmStart(true)
+	SetWarmStart(true)
+	ResetWarmCache()
+	s := warmScenario(CNN1, policy.Kelp)
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if n := cacheSize(); n != 1 {
+		t.Fatalf("want 1 cache entry after first run, got %d", n)
+	}
+	warmCache.Lock()
+	for _, e := range warmCache.entries {
+		if e.snap == nil {
+			t.Error("first run did not publish a snapshot (a task declined?)")
+		}
+	}
+	warmCache.Unlock()
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if n := cacheSize(); n != 1 {
+		t.Fatalf("identical second run split the cache: %d entries", n)
+	}
+	// A different warmup length is a different post-warmup state: new slot.
+	s2 := s
+	s2.Warmup = 2 * sim.Second
+	if _, err := Run(s2); err != nil {
+		t.Fatal(err)
+	}
+	if n := cacheSize(); n != 2 {
+		t.Fatalf("changed warmup should add a slot, cache has %d entries", n)
+	}
+}
+
+// TestWarmStartIneligibleScenariosBypassCache pins the eligibility gate:
+// runs with a flight recorder attached or fault injection enabled never
+// store or consume snapshots.
+func TestWarmStartIneligibleScenariosBypassCache(t *testing.T) {
+	defer SetWarmStart(true)
+	SetWarmStart(true)
+	ResetWarmCache()
+
+	rec := warmScenario(CNN1, policy.Kelp)
+	rec.Events = events.MustNew(events.DefaultCapacity)
+	if _, err := Run(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	flt := warmScenario(CNN1, policy.Baseline)
+	flt.Faults = faults.Spec{Seed: 1, Drop: 0.5}
+	if _, err := Run(flt); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := cacheSize(); n != 0 {
+		t.Fatalf("ineligible scenarios created %d cache entries", n)
+	}
+}
+
+// TestFigureTableColdEquivalence renders one full figure both ways: the
+// warm-started, incrementally-resolved table must be byte-identical to the
+// cold-started one, normalization and all.
+func TestFigureTableColdEquivalence(t *testing.T) {
+	defer SetWarmStart(true)
+	render := func(coldStart bool) string {
+		h := NewHarness()
+		h.Warmup = 1500 * sim.Millisecond
+		h.Measure = 1 * sim.Second
+		if coldStart {
+			SetWarmStart(false)
+			h.Node.NoIncremental = true
+		} else {
+			SetWarmStart(true)
+			ResetWarmCache()
+		}
+		rows, err := Figure5(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SensitivityTable("Fig. 5", rows).String()
+	}
+	cold := render(true)
+	warm := render(false)
+	if cold != warm {
+		t.Errorf("Figure 5 table diverged between cold and warm-started runs:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+// TestWarmStartDisabledBypassesCache pins SetWarmStart(false) — the
+// -coldstart escape hatch must stop both publishing and consuming.
+func TestWarmStartDisabledBypassesCache(t *testing.T) {
+	defer SetWarmStart(true)
+	ResetWarmCache()
+	SetWarmStart(false)
+	if _, err := Run(warmScenario(CNN1, policy.Baseline)); err != nil {
+		t.Fatal(err)
+	}
+	if n := cacheSize(); n != 0 {
+		t.Fatalf("disabled warm-start created %d cache entries", n)
+	}
+}

@@ -64,7 +64,9 @@ func TestResolveArenaReshape(t *testing.T) {
 
 // normalize maps a resolution to a shape-independent value: length-zero and
 // nil slices compare equal (a fresh system returns nil Links, a reused
-// arena an empty reused slice — same contents either way).
+// arena an empty reused slice — same contents either way), and the
+// computation stamp is cleared (it counts the owning system's recomputes,
+// not anything about the result).
 func normalize(r *Resolution) Resolution {
 	out := *r
 	if len(out.Links) == 0 {
@@ -73,6 +75,7 @@ func normalize(r *Resolution) Resolution {
 	if len(out.Flows) == 0 {
 		out.Flows = nil
 	}
+	out.seq = 0
 	return out
 }
 
@@ -127,6 +130,11 @@ func TestResolveSteadyStateAllocs(t *testing.T) {
 			cfg := DefaultConfig()
 			tc.mut(&cfg)
 			s := MustSystem(cfg)
+			// Disable the incremental short-circuit: the pin is on the
+			// full recompute path (the short-circuit is trivially
+			// allocation-free; the dirty-step case below covers the
+			// fingerprint-recording variant).
+			s.SetIncremental(false)
 			flows := []Flow{
 				{Task: "ml", Socket: 0, Subdomain: 0, DemandBW: 3 * GB, LLCFootprint: 8e6, LLCRefBW: 4 * GB, LLCWayMask: 0xf, HighPriority: true},
 				{Task: "lo", Socket: 0, Subdomain: 1, DemandBW: 30 * GB, LLCFootprint: 64e6},
@@ -145,4 +153,29 @@ func TestResolveSteadyStateAllocs(t *testing.T) {
 			}
 		})
 	}
+
+	// Dirty steps with incremental mode on: every call misses the
+	// fingerprint, recomputes, and re-records the fingerprint — that
+	// recording must also be allocation-free once lastFlows has capacity.
+	t.Run("incremental-dirty", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.SNCEnabled = true
+		s := MustSystem(cfg)
+		flows := []Flow{
+			{Task: "ml", Socket: 0, Subdomain: 0, DemandBW: 3 * GB, LLCFootprint: 8e6, LLCRefBW: 4 * GB},
+			{Task: "lo", Socket: 0, Subdomain: 1, DemandBW: 30 * GB, LLCFootprint: 64e6},
+		}
+		if _, err := s.Resolve(flows); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			flows[1].DemandBW += GB // force a fingerprint miss
+			if _, err := s.Resolve(flows); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Fatalf("dirty-step Resolve allocates %v allocs/op, want 0", avg)
+		}
+	})
 }

@@ -125,7 +125,25 @@ type Resolution struct {
 	SocketSnoop []float64
 	// Links holds one entry per (from, to) socket pair with traffic.
 	Links []LinkState
+
+	// cps is ControllersPerSocket of the resolving system, recorded so the
+	// accessors below can index Controllers directly (socket-major, fixed
+	// shape) instead of scanning. Zero — a hand-constructed Resolution —
+	// falls back to the linear scan.
+	cps int
+
+	// seq identifies the fixed-point computation that produced this
+	// resolution: the owning system stamps a fresh value on every full
+	// recompute and leaves it unchanged when the incremental short-circuit
+	// returns the previous result. Pointer identity alone cannot tell the
+	// two apart (the double-buffer arena reuses addresses), so consumers
+	// that cache derived values (perfmon) key on (pointer, seq).
+	seq uint64
 }
+
+// Seq returns the resolution's computation stamp (see the field comment);
+// 0 for a hand-constructed resolution.
+func (r *Resolution) Seq() uint64 { return r.seq }
 
 // Clone returns a deep copy of the resolution, detached from the owning
 // system's scratch arena — for callers that retain a resolution across
@@ -140,12 +158,27 @@ func (r *Resolution) Clone() *Resolution {
 		SocketBackpressure: append([]float64(nil), r.SocketBackpressure...),
 		SocketSnoop:        append([]float64(nil), r.SocketSnoop...),
 		Links:              append([]LinkState(nil), r.Links...),
+		cps:                r.cps,
+		seq:                r.seq,
 	}
 	return out
 }
 
-// Controller returns the state of controller idx on the given socket.
+// Controller returns the state of controller idx on the given socket, or a
+// zero-signal placeholder carrying the requested coordinates when they are
+// out of range. Controllers are laid out socket-major with a fixed number
+// per socket, so the lookup is a direct index — this sits on the policy
+// controllers' per-sample read path.
 func (r *Resolution) Controller(socket, idx int) ControllerState {
+	if r.cps > 0 {
+		if socket >= 0 && idx >= 0 && idx < r.cps {
+			if i := socket*r.cps + idx; i < len(r.Controllers) {
+				return r.Controllers[i]
+			}
+		}
+		return ControllerState{Socket: socket, Index: idx}
+	}
+	// Hand-constructed resolution (cps unset): fall back to scanning.
 	for _, c := range r.Controllers {
 		if c.Socket == socket && c.Index == idx {
 			return c
@@ -157,6 +190,20 @@ func (r *Resolution) Controller(socket, idx int) ControllerState {
 // SocketOffered returns total traffic offered to a socket's controllers.
 func (r *Resolution) SocketOffered(socket int) float64 {
 	var t float64
+	if r.cps > 0 {
+		lo := socket * r.cps
+		if socket < 0 || lo >= len(r.Controllers) {
+			return 0
+		}
+		hi := lo + r.cps
+		if hi > len(r.Controllers) {
+			hi = len(r.Controllers)
+		}
+		for _, c := range r.Controllers[lo:hi] {
+			t += c.Offered
+		}
+		return t
+	}
 	for _, c := range r.Controllers {
 		if c.Socket == socket {
 			t += c.Offered

@@ -145,6 +145,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.Max()
 }
 
+// Clone returns a deep copy of the histogram, used by simulation snapshots
+// (the experiments layer's warm-started sweep cells).
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	out := *h
+	out.counts = append([]uint64(nil), h.counts...)
+	return &out
+}
+
 // Reset clears all observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -9,9 +9,13 @@ import (
 
 // benchNode builds a node with a realistic colocation: a high-priority
 // accelerated task plus three best-effort antagonists across both sockets.
-func benchNode(b testing.TB) *Node {
+func benchNode(b testing.TB) *Node { return benchNodeWith(b, DefaultConfig()) }
+
+// benchNodeWith is benchNode on an arbitrary configuration (the incremental
+// equivalence test builds the same colocation with NoIncremental set).
+func benchNodeWith(b testing.TB, cfg Config) *Node {
 	b.Helper()
-	n, err := New(DefaultConfig())
+	n, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -50,10 +54,29 @@ func benchNode(b testing.TB) *Node {
 // BenchmarkNodeStep measures one full node pipeline tick — offer
 // collection, cgroup timesharing, memory-system resolution, rate
 // distribution, task advance — the 100µs inner loop of every experiment.
+// Incremental resolution is disabled so the number keeps measuring the
+// full pipeline across snapshots: with it on, a steady colocation takes
+// the clean-tick fast path (BenchmarkNodeStepClean measures that).
 // Steady state must not allocate on the node/memsys side of the pipeline.
 func BenchmarkNodeStep(b *testing.B) {
-	n := benchNode(b)
+	cfg := DefaultConfig()
+	cfg.NoIncremental = true
+	n := benchNodeWith(b, cfg)
 	// Warm the scratch arenas so the timed region is pure steady state.
+	n.Run(10 * n.cfg.Step)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.engine.Tick()
+	}
+}
+
+// BenchmarkNodeStepClean measures the clean-tick fast path: offers,
+// cgroup/prefetch/memory generations, and the resolved flow set all
+// unchanged since the previous tick — what a steady simulation phase pays
+// per 100µs step.
+func BenchmarkNodeStepClean(b *testing.B) {
+	n := benchNode(b)
 	n.Run(10 * n.cfg.Step)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -64,14 +87,24 @@ func BenchmarkNodeStep(b *testing.B) {
 
 // TestNodeStepSteadyStateAllocs pins the allocation-free node tick: after
 // warmup, one engine tick (node pipeline + memsys resolve) performs zero
-// heap allocations.
+// heap allocations — on both the full pipeline and the clean-tick fast
+// path.
 func TestNodeStepSteadyStateAllocs(t *testing.T) {
-	n := benchNode(t)
-	n.Run(10 * n.cfg.Step)
-	avg := testing.AllocsPerRun(200, func() {
-		n.engine.Tick()
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state node tick allocates %v allocs/op, want 0", avg)
+	for _, tc := range []struct {
+		name  string
+		noInc bool
+	}{{"full", true}, {"clean", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.NoIncremental = tc.noInc
+			n := benchNodeWith(t, cfg)
+			n.Run(10 * n.cfg.Step)
+			avg := testing.AllocsPerRun(200, func() {
+				n.engine.Tick()
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state node tick allocates %v allocs/op, want 0", avg)
+			}
+		})
 	}
 }

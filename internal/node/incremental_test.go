@@ -1,0 +1,61 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// TestIncrementalMutationEquivalence pins that the clean-tick fast path
+// never changes observable behaviour: a node with incremental resolution
+// enabled stays byte-identical to a NoIncremental node through every
+// mutation that must dirty the fingerprint — a prefetcher flip, a cgroup
+// CPU-set change, and a task added mid-run.
+func TestIncrementalMutationEquivalence(t *testing.T) {
+	run := func(noInc bool) nodeStats {
+		cfg := DefaultConfig()
+		cfg.NoIncremental = noInc
+		n := benchNodeWith(t, cfg)
+		n.Run(20 * sim.Millisecond)
+
+		// Prefetcher flip on an ML core.
+		if err := n.Processor().SetPrefetch(0, false); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(20 * sim.Millisecond)
+
+		// Cgroup CPU-set shrink.
+		if err := n.Cgroups().SetCPUs("lo2", []int{10}); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(20 * sim.Millisecond)
+
+		// Task added mid-run.
+		if _, err := n.Cgroups().Create("late", cgroup.Low); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Cgroups().SetCPUs("late", []int{11}); err != nil {
+			t.Fatal(err)
+		}
+		l, err := workload.NewLoop("late", workload.LoopConfig{
+			Threads:  1,
+			UnitWork: 1e-3,
+			Mem:      workload.MemProfile{StreamBWPerCore: workload.GB},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddTask(l, "late"); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(20 * sim.Millisecond)
+		return statsOf(n)
+	}
+	inc, cold := run(false), run(true)
+	if !reflect.DeepEqual(inc, cold) {
+		t.Errorf("incremental node diverged from NoIncremental node:\n got: %+v\nwant: %+v", inc, cold)
+	}
+}

@@ -1,0 +1,119 @@
+package node
+
+import (
+	"fmt"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/memsys"
+	"kelp/internal/perfmon"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
+)
+
+// Snapshot is a point-in-time capture of a node's full mutable simulation
+// state: engine clock and controller schedule, per-core prefetch flags,
+// cgroup knobs, monitor accumulators, the last memory resolution (feeding
+// the hardware prefetch governor), governor smoothing state, and every
+// task's own state. It shares no memory with the node and may be restored
+// any number of times onto nodes rebuilt from the same configuration.
+//
+// Controller-internal state (the Kelp runtime, CoreThrottle, MBA) lives
+// outside the node; the experiments layer snapshots those separately.
+type Snapshot struct {
+	engine   sim.EngineState
+	prefetch []bool
+	groups   []cgroup.GroupState
+	monitor  perfmon.State
+	memLast  *memsys.Resolution
+	distress map[int]float64
+	names    []string
+	tasks    []any
+}
+
+// Snapshot captures the node's state. It returns (nil, false) when any
+// registered task cannot snapshot itself — tasks that do not implement
+// workload.Snapshotter, or whose current configuration declines (open-loop
+// arrival jitter, unbounded step recording) — in which case the caller
+// falls back to a cold start.
+func (n *Node) Snapshot() (*Snapshot, bool) {
+	s := &Snapshot{
+		engine:   n.engine.State(),
+		prefetch: n.proc.PrefetchState(),
+		groups:   n.cgroups.State(),
+		monitor:  n.mon.State(),
+		names:    make([]string, len(n.tasks)),
+		tasks:    make([]any, len(n.tasks)),
+	}
+	if last := n.mem.Last(); last != nil {
+		s.memLast = last.Clone()
+	}
+	if n.distressEWMA != nil {
+		s.distress = make(map[int]float64, len(n.distressEWMA))
+		for k, v := range n.distressEWMA {
+			s.distress[k] = v
+		}
+	}
+	for i, bt := range n.tasks {
+		sn, ok := bt.task.(workload.Snapshotter)
+		if !ok {
+			return nil, false
+		}
+		st, ok := sn.TaskSnapshot()
+		if !ok {
+			return nil, false
+		}
+		s.names[i] = bt.task.Name()
+		s.tasks[i] = st
+	}
+	return s, true
+}
+
+// Restore installs a snapshot onto a node rebuilt from the same
+// configuration: same topology, same groups created, same tasks registered
+// in the same order, same engine controllers. The clean-tick fingerprint is
+// invalidated so the first step after a restore runs the full pipeline.
+func (n *Node) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("node: nil snapshot")
+	}
+	if len(s.tasks) != len(n.tasks) {
+		return fmt.Errorf("node: snapshot has %d tasks, node %d", len(s.tasks), len(n.tasks))
+	}
+	for i, bt := range n.tasks {
+		if bt.task.Name() != s.names[i] {
+			return fmt.Errorf("node: snapshot task %d is %q, node has %q",
+				i, s.names[i], bt.task.Name())
+		}
+	}
+	if err := n.engine.RestoreState(s.engine); err != nil {
+		return err
+	}
+	if err := n.proc.RestorePrefetchState(s.prefetch); err != nil {
+		return err
+	}
+	if err := n.cgroups.Restore(s.groups); err != nil {
+		return err
+	}
+	if err := n.mon.Restore(s.monitor); err != nil {
+		return err
+	}
+	if s.memLast != nil {
+		n.mem.SetLast(s.memLast.Clone())
+	} else {
+		n.mem.SetLast(nil)
+	}
+	n.distressEWMA = nil
+	if s.distress != nil {
+		n.distressEWMA = make(map[int]float64, len(s.distress))
+		for k, v := range s.distress {
+			n.distressEWMA[k] = v
+		}
+	}
+	for i, bt := range n.tasks {
+		if err := bt.task.(workload.Snapshotter).TaskRestore(s.tasks[i]); err != nil {
+			return err
+		}
+	}
+	n.prevValid = false
+	return nil
+}

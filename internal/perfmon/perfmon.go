@@ -141,6 +141,21 @@ type Monitor struct {
 
 	// Cumulative totals (never reset) for end-of-run reporting.
 	totalBytes []float64
+
+	// Rate cache: the per-second values derived from the last distinct
+	// resolution, so steady-state recording (the same resolution integrated
+	// tick after tick under incremental resolve) reduces to multiply-adds.
+	// Keyed on (pointer, seq) — pointer identity alone is ambiguous because
+	// the memory system's double-buffer arena reuses addresses.
+	lastRes    *memsys.Resolution
+	lastSeq    uint64
+	rateBW     []float64
+	rateOff    []float64
+	rateLat    []float64
+	rateSat    []float64
+	rateBP     []float64
+	rateCtlBW  []float64 // socket-major, sockets*cps
+	rateCtlLat []float64
 }
 
 type acc struct{ sum float64 }
@@ -161,6 +176,13 @@ func NewMonitor(sockets, controllersPerSocket int) (*Monitor, error) {
 		bp:         make([]acc, sockets),
 		ctlBW:      make([][]acc, sockets),
 		totalBytes: make([]float64, sockets),
+		rateBW:     make([]float64, sockets),
+		rateOff:    make([]float64, sockets),
+		rateLat:    make([]float64, sockets),
+		rateSat:    make([]float64, sockets),
+		rateBP:     make([]float64, sockets),
+		rateCtlBW:  make([]float64, sockets*controllersPerSocket),
+		rateCtlLat: make([]float64, sockets*controllersPerSocket),
 	}
 	m.ctlLat = make([][]acc, sockets)
 	for s := range m.ctlBW {
@@ -179,29 +201,59 @@ func MustMonitor(sockets, controllersPerSocket int) *Monitor {
 	return m
 }
 
-// Record integrates one step's resolution over dt seconds.
+// Record integrates one step's resolution over dt seconds. Deriving the
+// per-second values from the resolution is the expensive part (per-socket
+// aggregations over flows and controllers); they are cached and reused
+// while the same resolution repeats, which under incremental resolve is
+// every steady-state tick. Seq 0 marks a hand-constructed resolution with
+// no computation stamp — those are re-derived every call, since the caller
+// may mutate them in place between Records.
 func (m *Monitor) Record(dt float64, res *memsys.Resolution) {
 	if res == nil || dt <= 0 {
 		return
 	}
+	if seq := res.Seq(); res != m.lastRes || seq != m.lastSeq || seq == 0 {
+		m.cacheRates(res)
+		m.lastRes, m.lastSeq = res, seq
+	}
 	m.elapsed.sum += dt
 	for s := 0; s < m.sockets; s++ {
-		g := res.SocketGranted(s)
-		m.bw[s].sum += g * dt
-		m.offered[s].sum += res.SocketOffered(s) * dt
-		m.lat[s].sum += res.MeanSocketLatency(s) * dt
-		m.sat[s].sum += res.MaxDistress(s) * dt
-		if s < len(res.SocketBackpressure) {
-			m.bp[s].sum += res.SocketBackpressure[s] * dt
-		} else {
-			m.bp[s].sum += dt
+		m.bw[s].sum += m.rateBW[s] * dt
+		m.offered[s].sum += m.rateOff[s] * dt
+		m.lat[s].sum += m.rateLat[s] * dt
+		m.sat[s].sum += m.rateSat[s] * dt
+		m.bp[s].sum += m.rateBP[s] * dt
+		m.totalBytes[s] += m.rateBW[s] * dt
+		base := s * m.cps
+		for c := 0; c < m.cps; c++ {
+			m.ctlBW[s][c].sum += m.rateCtlBW[base+c] * dt
+			m.ctlLat[s][c].sum += m.rateCtlLat[base+c] * dt
 		}
-		m.totalBytes[s] += g * dt
+	}
+}
+
+// cacheRates derives the per-second recording values from a resolution.
+func (m *Monitor) cacheRates(res *memsys.Resolution) {
+	for s := 0; s < m.sockets; s++ {
+		m.rateBW[s] = res.SocketGranted(s)
+		m.rateOff[s] = res.SocketOffered(s)
+		m.rateLat[s] = res.MeanSocketLatency(s)
+		m.rateSat[s] = res.MaxDistress(s)
+		if s < len(res.SocketBackpressure) {
+			m.rateBP[s] = res.SocketBackpressure[s]
+		} else {
+			m.rateBP[s] = 1
+		}
+	}
+	for i := range m.rateCtlBW {
+		m.rateCtlBW[i] = 0
+		m.rateCtlLat[i] = 0
 	}
 	for _, c := range res.Controllers {
 		if c.Socket < m.sockets && c.Index < m.cps {
-			m.ctlBW[c.Socket][c.Index].sum += c.Granted * dt
-			m.ctlLat[c.Socket][c.Index].sum += c.Latency * dt
+			i := c.Socket*m.cps + c.Index
+			m.rateCtlBW[i] += c.Granted
+			m.rateCtlLat[i] += c.Latency
 		}
 	}
 }
@@ -261,6 +313,68 @@ func (m *Monitor) sample(reset bool) Sample {
 		m.elapsed = acc{}
 	}
 	return out
+}
+
+// State is an opaque snapshot of a monitor's accumulators, used by the
+// node-level warm-start snapshot. It shares no memory with the monitor.
+type State struct {
+	sockets, cps int
+	elapsed      acc
+	bw, offered  []acc
+	lat, sat, bp []acc
+	ctlBW        [][]acc
+	ctlLat       [][]acc
+	totalBytes   []float64
+}
+
+func copyAccs(a []acc) []acc { return append([]acc(nil), a...) }
+
+func copyAccs2(a [][]acc) [][]acc {
+	out := make([][]acc, len(a))
+	for i := range a {
+		out[i] = copyAccs(a[i])
+	}
+	return out
+}
+
+// State snapshots the monitor's accumulators.
+func (m *Monitor) State() State {
+	return State{
+		sockets:    m.sockets,
+		cps:        m.cps,
+		elapsed:    m.elapsed,
+		bw:         copyAccs(m.bw),
+		offered:    copyAccs(m.offered),
+		lat:        copyAccs(m.lat),
+		sat:        copyAccs(m.sat),
+		bp:         copyAccs(m.bp),
+		ctlBW:      copyAccs2(m.ctlBW),
+		ctlLat:     copyAccs2(m.ctlLat),
+		totalBytes: append([]float64(nil), m.totalBytes...),
+	}
+}
+
+// Restore installs a snapshot taken by State on a monitor of the same shape.
+func (m *Monitor) Restore(st State) error {
+	if st.sockets != m.sockets || st.cps != m.cps {
+		return fmt.Errorf("perfmon: snapshot shape %dx%d, monitor %dx%d",
+			st.sockets, st.cps, m.sockets, m.cps)
+	}
+	// The rate cache is derived, not state: drop it so the next Record
+	// re-derives from its resolution.
+	m.lastRes, m.lastSeq = nil, 0
+	m.elapsed = st.elapsed
+	copy(m.bw, st.bw)
+	copy(m.offered, st.offered)
+	copy(m.lat, st.lat)
+	copy(m.sat, st.sat)
+	copy(m.bp, st.bp)
+	for s := range m.ctlBW {
+		copy(m.ctlBW[s], st.ctlBW[s])
+		copy(m.ctlLat[s], st.ctlLat[s])
+	}
+	copy(m.totalBytes, st.totalBytes)
+	return nil
 }
 
 // TotalBytes returns cumulative DRAM bytes moved on a socket since start.

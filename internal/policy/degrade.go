@@ -70,6 +70,56 @@ func (d *degradeState) actuateError(n *node.Node, now float64, err error) {
 	}
 }
 
+// ThrottlerState is an opaque snapshot of a Throttler's control state, used
+// by the experiments layer's warm-started sweep cells.
+type ThrottlerState struct {
+	cur     int
+	deg     degradeState
+	history []ThrottlerDecision
+}
+
+// Snapshot captures the throttler's control state.
+func (t *Throttler) Snapshot() ThrottlerState {
+	return ThrottlerState{
+		cur:     t.cur,
+		deg:     t.deg,
+		history: append([]ThrottlerDecision(nil), t.history...),
+	}
+}
+
+// Restore installs a snapshot taken by Snapshot on a throttler built from
+// the same configuration. It does not actuate: the node snapshot restores
+// the cgroup state the throttler had enforced.
+func (t *Throttler) Restore(st ThrottlerState) {
+	t.cur = st.cur
+	t.deg = st.deg
+	t.history = append(t.history[:0], st.history...)
+}
+
+// MBAState is an opaque snapshot of an MBAController's control state.
+type MBAState struct {
+	cur     int
+	deg     degradeState
+	history []MBADecision
+}
+
+// Snapshot captures the MBA controller's control state.
+func (c *MBAController) Snapshot() MBAState {
+	return MBAState{
+		cur:     c.cur,
+		deg:     c.deg,
+		history: append([]MBADecision(nil), c.history...),
+	}
+}
+
+// Restore installs a snapshot taken by Snapshot on a controller built from
+// the same configuration.
+func (c *MBAController) Restore(st MBAState) {
+	c.cur = st.cur
+	c.deg = st.deg
+	c.history = append(c.history[:0], st.history...)
+}
+
 // sanityBounds derives sample plausibility limits from the throttler-style
 // watermarks, mirroring core.Watermarks.SanityBounds.
 func (w ThrottlerWatermarks) sanityBounds() perfmon.Bounds {

@@ -105,6 +105,42 @@ func (e *Engine) Tick() {
 	e.steps++
 }
 
+// EngineState is a snapshot of the engine's mutable scheduling state: the
+// clock, the tick count, and each registered controller's next fire time in
+// registration order. It deliberately omits RNG state (streams are not
+// serializable); callers gate snapshot eligibility to runs that never draw
+// from the engine's randomness, so rebuilding with the same seed restores
+// identical streams.
+type EngineState struct {
+	Now   Time
+	Steps uint64
+	Next  []Time
+}
+
+// State snapshots the engine's scheduling state.
+func (e *Engine) State() EngineState {
+	st := EngineState{Now: e.now, Steps: e.steps, Next: make([]Time, len(e.ctrls))}
+	for i, sc := range e.ctrls {
+		st.Next[i] = sc.next
+	}
+	return st
+}
+
+// RestoreState installs a snapshot taken by State. The engine must have the
+// same controllers registered, in the same order, as when the snapshot was
+// taken (warm-start rebuilds the cell deterministically first).
+func (e *Engine) RestoreState(st EngineState) error {
+	if len(st.Next) != len(e.ctrls) {
+		return fmt.Errorf("sim: snapshot has %d controllers, engine has %d", len(st.Next), len(e.ctrls))
+	}
+	e.now = st.Now
+	e.steps = st.Steps
+	for i, sc := range e.ctrls {
+		sc.next = st.Next[i]
+	}
+	return nil
+}
+
 // Run advances the simulation until at least d seconds of simulated time have
 // elapsed from the current time.
 func (e *Engine) Run(d Duration) {

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+
+	"kelp/internal/metrics"
+)
+
+// Snapshotter is implemented by tasks that can capture and restore their
+// full mutable state — the workload half of the experiments layer's
+// warm-started sweep cells (docs/PERFORMANCE.md). TaskSnapshot returns
+// (state, false) when the task is not snapshotable in its current
+// configuration: a task whose future evolution draws fresh randomness
+// (open-loop arrivals with jitter) cannot be resumed reproducibly, because
+// engine RNG streams are not serializable.
+type Snapshotter interface {
+	// TaskSnapshot captures the task's mutable state. The returned value
+	// is opaque to callers, immutable, and shareable across restores.
+	TaskSnapshot() (any, bool)
+	// TaskRestore installs a state captured by TaskSnapshot on a task
+	// built from the same configuration.
+	TaskRestore(st any) error
+}
+
+// loopState is the full mutable state of a Loop.
+type loopState struct {
+	partial float64
+	units   metrics.Meter
+	threads int
+}
+
+// TaskSnapshot implements Snapshotter.
+func (l *Loop) TaskSnapshot() (any, bool) {
+	return loopState{partial: l.partial, units: l.units, threads: l.cfg.Threads}, true
+}
+
+// TaskRestore implements Snapshotter.
+func (l *Loop) TaskRestore(st any) error {
+	s, ok := st.(loopState)
+	if !ok {
+		return fmt.Errorf("workload: %s: bad snapshot type %T", l.name, st)
+	}
+	l.partial = s.partial
+	l.units = s.units
+	l.cfg.Threads = s.threads
+	return nil
+}
+
+// trainingState is the full mutable state of a Training.
+type trainingState struct {
+	phase     int
+	remaining float64
+	steps     metrics.Meter
+}
+
+// TaskSnapshot implements Snapshotter. Tasks recording per-step timestamps
+// (cluster-level lock-step composition) decline: the timestamp slice grows
+// without bound and is owned by the cluster layer.
+func (t *Training) TaskSnapshot() (any, bool) {
+	if t.recordSteps {
+		return nil, false
+	}
+	return trainingState{phase: t.phase, remaining: t.remaining, steps: t.steps}, true
+}
+
+// TaskRestore implements Snapshotter.
+func (t *Training) TaskRestore(st any) error {
+	s, ok := st.(trainingState)
+	if !ok {
+		return fmt.Errorf("workload: %s: bad snapshot type %T", t.name, st)
+	}
+	if s.phase < 0 || s.phase >= len(t.phases) {
+		return fmt.Errorf("workload: %s: snapshot phase %d of %d", t.name, s.phase, len(t.phases))
+	}
+	t.phase = s.phase
+	t.remaining = s.remaining
+	t.steps = s.steps
+	return nil
+}
+
+// inferenceState is the full mutable state of an Inference server plus its
+// device's FIFO occupancy (the device is exclusive to the server, §II-A).
+type inferenceState struct {
+	nextArrival float64
+	queued      []float64
+	inflight    []request
+	completed   metrics.Meter
+	latency     *metrics.Histogram
+	window      *metrics.Histogram
+	dropped     uint64
+	deviceBusy  float64
+}
+
+// TaskSnapshot implements Snapshotter. Only deterministic arrival processes
+// are snapshotable: the closed-loop generator never draws randomness, and a
+// jitter-free open loop is a fixed schedule. Open-loop servers with arrival
+// jitter decline — their rng stream position cannot be captured.
+func (s *Inference) TaskSnapshot() (any, bool) {
+	if !s.cfg.ClosedLoop && s.cfg.ArrivalJitter != 0 {
+		return nil, false
+	}
+	st := inferenceState{
+		nextArrival: s.nextArrival,
+		queued:      append([]float64(nil), s.queued...),
+		inflight:    make([]request, len(s.inflight)),
+		completed:   s.completed,
+		latency:     s.latency.Clone(),
+		window:      s.window.Clone(),
+		dropped:     s.dropped,
+		deviceBusy:  s.device.BusyUntil(),
+	}
+	for i, q := range s.inflight {
+		st.inflight[i] = *q
+	}
+	return st, true
+}
+
+// TaskRestore implements Snapshotter.
+func (s *Inference) TaskRestore(st any) error {
+	snap, ok := st.(inferenceState)
+	if !ok {
+		return fmt.Errorf("workload: %s: bad snapshot type %T", s.name, st)
+	}
+	s.nextArrival = snap.nextArrival
+	s.queued = append(s.queued[:0], snap.queued...)
+	s.inflight = s.inflight[:0]
+	for i := range snap.inflight {
+		q := snap.inflight[i]
+		s.inflight = append(s.inflight, &q)
+	}
+	s.completed = snap.completed
+	s.latency = snap.latency.Clone()
+	s.window = snap.window.Clone()
+	s.dropped = snap.dropped
+	s.device.SetBusyUntil(snap.deviceBusy)
+	return nil
+}

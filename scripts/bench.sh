@@ -5,6 +5,7 @@
 #   scripts/bench.sh              # micro + headline figure benchmarks
 #   scripts/bench.sh -quick       # everything at -benchtime=1x (CI smoke)
 #   scripts/bench.sh -micro       # hot-path microbenchmarks only
+#   scripts/bench.sh -f           # overwrite an existing same-day snapshot
 #   BENCH_OUT=out.json scripts/bench.sh
 #
 # The snapshot records ns/op, B/op, allocs/op and every custom metric
@@ -16,10 +17,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=full
+FORCE=0
 for arg in "$@"; do
 	case "$arg" in
 	-quick) MODE=quick ;;
 	-micro) MODE=micro ;;
+	-f) FORCE=1 ;;
 	*)
 		echo "bench.sh: unknown argument $arg" >&2
 		exit 2
@@ -28,6 +31,13 @@ for arg in "$@"; do
 done
 
 OUT=${BENCH_OUT:-BENCH_$(date +%F).json}
+# A same-day snapshot is usually a committed baseline; refuse to clobber it
+# silently — a half-finished rerun would destroy the numbers later PRs
+# compare against.
+if [ -e "$OUT" ] && [ "$FORCE" -ne 1 ]; then
+	echo "bench.sh: $OUT already exists; rerun with -f to overwrite it" >&2
+	exit 1
+fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
