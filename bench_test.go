@@ -43,7 +43,7 @@ func BenchmarkFigure2_FleetBandwidthCDF(b *testing.B) {
 	var rows []experiments.Figure2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, above70, err = experiments.Figure2(fleet.DefaultConfig())
+		rows, above70, err = experiments.Figure2(fleet.DefaultCensusConfig())
 		if err != nil {
 			b.Fatal(err)
 		}

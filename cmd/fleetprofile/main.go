@@ -20,7 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 2, "random seed")
 	flag.Parse()
 
-	cfg := fleet.DefaultConfig()
+	cfg := fleet.DefaultCensusConfig()
 	cfg.Machines = *machines
 	cfg.Seed = *seed
 

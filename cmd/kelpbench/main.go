@@ -30,6 +30,15 @@
 // policy. -cfaults spec replaces the standard regimes with a custom one
 // (same -faultseed-rooted determinism); see docs/CLUSTER.md.
 //
+// -exp fleet runs the fleet-scale goodput study (opt-in as well): a
+// synthetic fleet of -machines heterogeneous machines (default 2000)
+// hosts lock-step training jobs and best-effort batch tasks under
+// placement policies from random scatter to Kelp-aware packing, and the
+// table reports fleet-wide ML Productivity Goodput, its availability /
+// throughput / program components, the Kelp-on versus Kelp-off population
+// split and batch throughput. -cfaults replaces the study's default churn
+// regime; see docs/FLEET.md.
+//
 // -cpuprofile f / -memprofile f write pprof profiles of the run (CPU
 // sampled across the whole run, heap snapshot at exit after a GC), for the
 // hot-path workflow described in docs/PERFORMANCE.md.
@@ -61,7 +70,8 @@ func main() {
 	eventsPath := flag.String("events", "", "write flight-recorder events as JSONL (forces -parallel 1)")
 	faultsFlag := flag.String("faults", "", "fault injection spec applied to every colocation run (see docs/RESILIENCE.md)")
 	faultSeed := flag.Uint64("faultseed", 42, "PRNG seed for the resilience and clusterfaults studies' fault regimes")
-	cfaultsFlag := flag.String("cfaults", "", "custom cluster fault spec for -exp clusterfaults (see docs/CLUSTER.md)")
+	cfaultsFlag := flag.String("cfaults", "", "custom cluster fault spec for -exp clusterfaults and -exp fleet (see docs/CLUSTER.md)")
+	machines := flag.Int("machines", 2000, "fleet size for -exp fleet")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	coldStart := flag.Bool("coldstart", false, "disable incremental resolve and warm-started sweep cells (re-simulate everything; output is identical, only slower)")
@@ -173,7 +183,7 @@ func main() {
 		return emit("table1", experiments.Table1Table())
 	})
 	run("fig2", func() error {
-		rows, above70, err := experiments.Figure2(fleet.DefaultConfig())
+		rows, above70, err := experiments.Figure2(fleet.DefaultCensusConfig())
 		if err != nil {
 			return err
 		}
@@ -321,6 +331,26 @@ func main() {
 		}
 		if err := emit("clusterfaults", experiments.ClusterFaultsTable(rows)); err != nil {
 			fmt.Fprintf(os.Stderr, "kelpbench: clusterfaults: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// The fleet study is opt-in too: it composes thousands of machines and
+	// a cluster-level fault replay on top of the node sweep, which is a
+	// different (and heavier) question than the per-node tables.
+	if want["fleet"] {
+		ran++
+		var custom *clusterfaults.Spec
+		if strings.TrimSpace(*cfaultsFlag) != "" {
+			custom = &cspec
+		}
+		rows, err := experiments.FleetStudy(h, *machines, custom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emit("fleet", experiments.FleetTable(rows, *machines)); err != nil {
+			fmt.Fprintf(os.Stderr, "kelpbench: fleet: %v\n", err)
 			os.Exit(1)
 		}
 	}

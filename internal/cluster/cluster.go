@@ -169,6 +169,104 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runSims(SeriesConfig{
+		Faults:   cfg.Faults,
+		Recovery: cfg.Recovery,
+		Horizon:  cfg.Horizon,
+		Events:   cfg.Events,
+	}, sims)
+}
+
+// MemberSeries is one lock-step member's measured behaviour, supplied by a
+// caller that ran the member's simulation itself — the fleet runtime
+// (internal/fleet) measures machines once per distinct configuration and
+// feeds every job member placed on such a machine the same series.
+type MemberSeries struct {
+	// StepsPerSec is the member's standalone training rate.
+	StepsPerSec float64
+	// StepTimes are step-completion timestamps within the member's
+	// measured interval (at least two, so a duration can be derived).
+	StepTimes []float64
+	// DegradedStepTimes optionally carries the same member re-measured
+	// under escalated interference — the series the fault replay switches
+	// to when a degrade fault fires. Required when Faults.Degrade > 0.
+	DegradedStepTimes []float64
+}
+
+// SeriesConfig parameterizes RunSeries: the fault/recovery machinery of a
+// lock-step composition whose members were simulated elsewhere.
+type SeriesConfig struct {
+	// Faults injects cluster-level failures; the zero Spec disables
+	// injection and RunSeries reduces to the plain composition.
+	Faults clusterfaults.Spec
+	// Recovery parameterizes the defensive layer; zero selects
+	// DefaultRecovery. Only consulted when Faults is enabled.
+	Recovery RecoveryConfig
+	// Horizon is the simulated wall-clock the fault replay covers,
+	// seconds; 0 selects DefaultHorizon.
+	Horizon sim.Duration
+	// Events, when non-nil, receives cluster-sourced events.
+	Events *events.Recorder
+}
+
+// Validate reports whether the configuration is usable.
+func (c SeriesConfig) Validate() error {
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("cluster: horizon = %v, want >= 0", c.Horizon)
+	}
+	return nil
+}
+
+// RunSeries composes the lock-step service from externally measured member
+// series and, when the fault spec is enabled, replays the schedule under
+// injected failures. It is the entry point for callers that own their
+// member simulations — the fleet runtime deduplicates machine simulations
+// across thousands of machines and composes each job's workers here.
+func RunSeries(cfg SeriesConfig, members []MemberSeries) (*Result, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Faults.Degrade > 0 {
+		for i, m := range members {
+			if len(m.DegradedStepTimes) == 0 {
+				return nil, fmt.Errorf("cluster: member %d has no degraded series but Faults.Degrade > 0", i)
+			}
+		}
+	}
+	sims := make([]*workerSim, len(members))
+	for i, m := range members {
+		ws := &workerSim{WorkerResult: WorkerResult{
+			StepsPerSec: m.StepsPerSec,
+			StepTimes:   m.StepTimes,
+		}}
+		var err error
+		ws.durs, err = stepDurations(m.StepTimes)
+		if err != nil && cfg.Faults.Enabled() {
+			return nil, fmt.Errorf("member %d: %w", i, err)
+		}
+		if len(m.DegradedStepTimes) > 0 {
+			ws.degDurs, err = stepDurations(m.DegradedStepTimes)
+			if err != nil {
+				return nil, fmt.Errorf("member %d degraded series: %w", i, err)
+			}
+		}
+		sims[i] = ws
+	}
+	return runSims(cfg, sims)
+}
+
+// runSims composes per-member simulations into the lock-step result and
+// runs the fault replay when enabled.
+func runSims(cfg SeriesConfig, sims []*workerSim) (*Result, error) {
 	results := make([]WorkerResult, len(sims))
 	for i, s := range sims {
 		results[i] = s.WorkerResult

@@ -237,7 +237,7 @@ func (ws *workerState) stepDur() float64 {
 }
 
 // replay runs the fault-tolerant lock-step schedule to the horizon.
-func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
+func replay(cfg SeriesConfig, sims []*workerSim) (*FaultReport, error) {
 	rc := cfg.Recovery.withDefaults()
 	inj, err := clusterfaults.NewInjector(cfg.Faults, len(sims))
 	if err != nil {
@@ -560,5 +560,16 @@ func replay(cfg Config, sims []*workerSim) (*FaultReport, error) {
 	rep.Availability = 1 - rep.Downtime/horizon
 	rep.MeanRecoveryTime = metrics.Mean(recoveryTimes)
 	rep.Recoveries = len(recoveryTimes)
+	// A cluster whose every worker ended the horizon dead did not survive:
+	// nobody remains to serve the model, so interim progress is moot. The
+	// report says so plainly — Goodput 0, Availability 0 — instead of the
+	// misleading partial fractions the loop accumulated. Fleet aggregation
+	// (internal/fleet) depends on this: an all-workers-dead machine's job
+	// must contribute zero productivity goodput, not a divide-by-zero or a
+	// rate measured over a service that no longer exists.
+	if rep.DeadWorkers >= len(states) {
+		rep.Goodput = 0
+		rep.Availability = 0
+	}
 	return rep, nil
 }

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"kelp/internal/clusterfaults"
+	"kelp/internal/sim"
+)
+
+// syntheticMembers builds n members with slightly different per-step
+// durations so the composition is non-trivial.
+func syntheticMembers(n, steps int) []MemberSeries {
+	members := make([]MemberSeries, n)
+	for i := range members {
+		dur := 0.10 + 0.01*float64(i)
+		times := make([]float64, steps)
+		for k := range times {
+			times[k] = float64(k+1) * dur
+		}
+		members[i] = MemberSeries{
+			StepsPerSec: 1 / dur,
+			StepTimes:   times,
+		}
+	}
+	return members
+}
+
+// The issue's satellite bugfix: a machine whose workers have all died must
+// report zero availability and zero goodput, not the positive fractions its
+// pre-death steps accrued. Fleet aggregation depends on an all-dead machine
+// contributing nothing.
+func TestAllWorkersDeadReportsZero(t *testing.T) {
+	cfg := SeriesConfig{
+		// An extreme crash hazard fells every worker almost immediately and
+		// RestartFail=1 makes every restart attempt fail, so each worker
+		// burns its single retry and dies.
+		Faults:   clusterfaults.Spec{Seed: 5, Crash: 1000, Downtime: 0.5, RestartFail: 1},
+		Recovery: RecoveryConfig{MaxRestarts: 1},
+		Horizon:  30 * sim.Second,
+	}
+	r, err := RunSeries(cfg, syntheticMembers(3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Faults
+	if rep == nil {
+		t.Fatal("no fault report attached")
+	}
+	if rep.DeadWorkers != 3 {
+		t.Fatalf("want all 3 workers dead, got %d: %+v", rep.DeadWorkers, rep)
+	}
+	if rep.Goodput != 0 || rep.Availability != 0 {
+		t.Errorf("all-dead cluster reports Goodput=%v Availability=%v, want 0/0", rep.Goodput, rep.Availability)
+	}
+	for _, v := range []float64{rep.Goodput, rep.Availability, rep.WastedStepFraction, rep.Downtime, rep.MeanRecoveryTime} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value in all-dead report: %+v", rep)
+		}
+	}
+}
+
+// RunSeries fed the per-worker series measured by Run must compose to the
+// identical result — it is the same machinery with simulation hoisted out.
+func TestRunSeriesMatchesRun(t *testing.T) {
+	cfg := faultConfig(3)
+	cfg.Faults = clusterfaults.Spec{Seed: 11, Crash: 0.15, Downtime: 0.5, Hang: 0.05, HangDur: 0.4}
+	cfg.Horizon = 30 * sim.Second
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]MemberSeries, len(want.Workers))
+	for i, w := range want.Workers {
+		members[i] = MemberSeries{StepsPerSec: w.StepsPerSec, StepTimes: w.StepTimes}
+	}
+	got, err := RunSeries(SeriesConfig{
+		Faults:   cfg.Faults,
+		Recovery: cfg.Recovery,
+		Horizon:  cfg.Horizon,
+	}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunSeries diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunSeriesValidation(t *testing.T) {
+	if _, err := RunSeries(SeriesConfig{}, nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	// Degrade faults require a degraded series per member.
+	cfg := SeriesConfig{Faults: clusterfaults.Spec{Seed: 1, Degrade: 0.1}}
+	if _, err := RunSeries(cfg, syntheticMembers(2, 10)); err == nil {
+		t.Error("degrade spec accepted without degraded series")
+	}
+	members := syntheticMembers(2, 10)
+	members[0].DegradedStepTimes = []float64{0.2, 0.4, 0.6}
+	members[1].DegradedStepTimes = []float64{0.2, 0.4, 0.6}
+	if _, err := RunSeries(cfg, members); err != nil {
+		t.Errorf("degraded members rejected: %v", err)
+	}
+	// A single timestamp cannot yield a step duration; with faults enabled
+	// that is an error rather than a silent empty schedule.
+	short := []MemberSeries{{StepsPerSec: 10, StepTimes: []float64{0.1}}}
+	cfg = SeriesConfig{Faults: clusterfaults.Spec{Seed: 1, Crash: 0.1, Downtime: 0.5}}
+	if _, err := RunSeries(cfg, short); err == nil {
+		t.Error("single-timestamp member accepted under an enabled fault spec")
+	}
+	// Invalid specs must be rejected before any composition.
+	cfg = SeriesConfig{Faults: clusterfaults.Spec{Crash: -1}}
+	if _, err := RunSeries(cfg, syntheticMembers(2, 10)); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	cfg = SeriesConfig{Horizon: -1}
+	if _, err := RunSeries(cfg, syntheticMembers(2, 10)); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}

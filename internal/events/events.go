@@ -30,8 +30,9 @@ type Type string
 
 // The event taxonomy. Sources are the emitting layers: "memsys" (the
 // memory fabric), "kelp" / "throttler" / "mba" (the policy controllers),
-// "agent" (admission), "faults" (the node fault injector), and "cluster"
-// (the fault-tolerant lock-step runtime).
+// "agent" (admission), "faults" (the node fault injector), "cluster" (the
+// fault-tolerant lock-step runtime), and "fleet" (the fleet runtime's
+// placement decisions).
 const (
 	// DistressAssert fires when a memory controller's utilization first
 	// exceeds the distress threshold and the FAST_ASSERTED signal begins
@@ -118,6 +119,21 @@ const (
 	// threshold and the policy's chosen action (wait, drop, failstep).
 	// Fields: step, action, threshold, stragglers.
 	BarrierTimeout Type = "barrier.timeout"
+	// FleetPlace records one placement decision by the fleet runtime:
+	// either a lock-step job's workers landing on machines (fields: job,
+	// workers, kelp_on, policy) or the batch-task placement summary
+	// (fields: batch_tasks, requested, policy).
+	FleetPlace Type = "fleet.place"
+	// FleetEvict records a batch task evicted from a saturated worker
+	// machine by a distress-aware policy. Fields: machine, reason.
+	FleetEvict Type = "fleet.evict"
+	// FleetRebalance records where an evicted batch task was re-placed.
+	// Fields: from, to.
+	FleetRebalance Type = "fleet.rebalance"
+	// MachineSaturate records a worker machine whose estimated bandwidth
+	// load crossed the saturation watermark at placement time. Fields:
+	// machine, est_bw, job.
+	MachineSaturate Type = "machine.saturate"
 )
 
 // Types lists every event type in the taxonomy, in documentation order.
@@ -130,6 +146,7 @@ func Types() []Type {
 		SensorReject, ActuateError, DegradeEnter, DegradeExit,
 		WorkerCrash, WorkerRestart, WorkerStraggle, WorkerDegrade, WorkerDead,
 		CheckpointSave, CheckpointRestore, BarrierTimeout,
+		FleetPlace, FleetEvict, FleetRebalance, MachineSaturate,
 	}
 }
 

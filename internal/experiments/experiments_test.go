@@ -589,7 +589,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
-	rows, above70, err := Figure2(fleet.Config{Machines: 3000, SamplesPerMachine: 100, Seed: 2})
+	rows, above70, err := Figure2(fleet.CensusConfig{Machines: 3000, SamplesPerMachine: 100, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kelp/internal/fleet"
+	"kelp/internal/sim"
+)
+
+// fleetHarness returns a shortened private harness for the fleet study
+// tests: the suite re-runs the study several times (serial vs parallel,
+// warm vs cold), so it cannot share quickHarness's settings.
+func fleetHarness(parallel int) *Harness {
+	h := NewHarness()
+	h.Warmup = 1500 * sim.Millisecond
+	h.Measure = 1 * sim.Second
+	h.Parallel = parallel
+	return h
+}
+
+const fleetTestMachines = 200
+
+func fleetTableString(t *testing.T, h *Harness) string {
+	t.Helper()
+	rows, err := FleetStudy(h, fleetTestMachines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FleetStudyCases()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(FleetStudyCases()))
+	}
+	return FleetTable(rows, fleetTestMachines).String()
+}
+
+// TestFleetStudyParallelIdentical pins the study's sharding invariant: the
+// rendered fleet table is byte-identical whether machine shapes simulate
+// on one worker or eight.
+func TestFleetStudyParallelIdentical(t *testing.T) {
+	ResetWarmCache()
+	serial := fleetTableString(t, fleetHarness(1))
+	ResetWarmCache()
+	wide := fleetTableString(t, fleetHarness(8))
+	if serial != wide {
+		t.Fatalf("fleet table diverges across -parallel:\nserial:\n%s\nwide:\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "random/kelp-0%") || !strings.Contains(serial, "kelp-aware/kelp-50%") {
+		t.Fatalf("table missing study cases:\n%s", serial)
+	}
+}
+
+// TestFleetStudyWarmStartNeutral pins warm-start neutrality for fleet
+// cells: a fully cold study (the kelpbench -coldstart path), the first
+// warm study (publishes snapshots), and a second warm study (restores
+// them) all render the same bytes.
+func TestFleetStudyWarmStartNeutral(t *testing.T) {
+	defer SetWarmStart(true)
+
+	SetWarmStart(false)
+	cold := fleetTableString(t, fleetHarness(4))
+
+	SetWarmStart(true)
+	ResetWarmCache()
+	h := fleetHarness(4)
+	first := fleetTableString(t, h)
+	second := fleetTableString(t, h)
+
+	if first != cold {
+		t.Fatalf("warm (snapshot publish) differs from cold:\ncold:\n%s\nwarm:\n%s", cold, first)
+	}
+	if second != cold {
+		t.Fatalf("warm (snapshot restore) differs from cold:\ncold:\n%s\nwarm:\n%s", cold, second)
+	}
+}
+
+// TestFleetStudyKelpWins asserts the study's acceptance-level contrast on
+// the real node measurer: an all-Kelp fleet out-goodputs an all-Baseline
+// fleet under identical random placement, and within a mixed fleet the
+// Kelp-on population beats the Kelp-off one.
+func TestFleetStudyKelpWins(t *testing.T) {
+	h := fleetHarness(0)
+	rows, err := FleetStudy(h, fleetTestMachines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCase := map[string]*fleet.Result{}
+	for _, r := range rows {
+		byCase[r.Case] = r.Result
+	}
+	off, on := byCase["random/kelp-0%"], byCase["random/kelp-100%"]
+	if off == nil || on == nil {
+		t.Fatal("study missing the kelp-0%/kelp-100% contrast rows")
+	}
+	if on.MPG <= off.MPG {
+		t.Errorf("all-Kelp fleet MPG %.3f should beat all-Baseline %.3f", on.MPG, off.MPG)
+	}
+	mixed := byCase["random/kelp-50%"]
+	if mixed == nil {
+		t.Fatal("study missing the random/kelp-50% row")
+	}
+	if mixed.WorkersOn == 0 || mixed.WorkersOff == 0 {
+		t.Fatalf("mixed fleet should land workers in both populations (on=%d off=%d)",
+			mixed.WorkersOn, mixed.WorkersOff)
+	}
+	if mixed.MPGKelpOn <= mixed.MPGKelpOff {
+		t.Errorf("mixed fleet: MPG on %.3f should beat MPG off %.3f",
+			mixed.MPGKelpOn, mixed.MPGKelpOff)
+	}
+}

@@ -137,7 +137,11 @@ type CPUSpec struct {
 
 // Scenario is one experiment cell.
 type Scenario struct {
-	ML     MLKind
+	ML MLKind
+	// NoML drops the accelerated task entirely — the cell measures only
+	// its CPU mix (the fleet study's batch-only machines). ML is ignored
+	// when set, and the result's MLThroughput is 0.
+	NoML   bool
 	CPU    []CPUSpec
 	Policy policy.Kind
 	Opts   policy.Options
@@ -300,9 +304,12 @@ func buildCell(cfg node.Config, s Scenario) (*cell, error) {
 		}
 		n.SetFaults(inj)
 	}
-	ml, err := buildML(n, s.ML, applied.ML)
-	if err != nil {
-		return nil, err
+	var ml workload.Task
+	if !s.NoML {
+		ml, err = buildML(n, s.ML, applied.ML)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	var lowTasks []workload.Task
@@ -358,10 +365,12 @@ func Run(s Scenario) (*Result, error) {
 
 	now := c.n.Now()
 	res := &Result{
-		MLThroughput: c.ml.Throughput(now),
-		PerTask:      make(map[string]float64, len(c.lowTasks)),
-		Applied:      c.applied,
-		Faults:       c.inj,
+		PerTask: make(map[string]float64, len(c.lowTasks)),
+		Applied: c.applied,
+		Faults:  c.inj,
+	}
+	if c.ml != nil {
+		res.MLThroughput = c.ml.Throughput(now)
 	}
 	if inf, ok := c.ml.(*workload.Inference); ok {
 		res.MLTail = inf.TailLatency(0.95)

@@ -18,8 +18,8 @@ type Figure2Row struct {
 
 // Figure2 generates the fleet census and returns its CDF. The paper's
 // headline: 16% of machines exceed 70% of peak bandwidth.
-func Figure2(cfg fleet.Config) ([]Figure2Row, float64, error) {
-	c, err := fleet.Run(cfg)
+func Figure2(cfg fleet.CensusConfig) ([]Figure2Row, float64, error) {
+	c, err := fleet.RunCensus(cfg)
 	if err != nil {
 		return nil, 0, err
 	}

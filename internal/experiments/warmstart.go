@@ -106,8 +106,8 @@ func warmKey(cfg node.Config, s Scenario) string {
 		wm = *opts.Watermarks
 	}
 	opts.Watermarks = nil
-	return fmt.Sprintf("%#v|%d|%#v|%d|%#v|%t|%#v|%v",
-		cfg, s.ML, s.CPU, s.Policy, opts, hasWM, wm, s.Warmup)
+	return fmt.Sprintf("%#v|%d|%t|%#v|%d|%#v|%t|%#v|%v",
+		cfg, s.ML, s.NoML, s.CPU, s.Policy, opts, hasWM, wm, s.Warmup)
 }
 
 // warmEligible reports whether a scenario's warmup may be served from (or

@@ -1,120 +1,346 @@
 package fleet
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
-	"testing/quick"
+
+	"kelp/internal/cluster"
+	"kelp/internal/clusterfaults"
+	"kelp/internal/events"
+	"kelp/internal/sim"
+	"kelp/internal/workload"
 )
 
-func TestConfigValidate(t *testing.T) {
+// synthMeasure is a deterministic, purely arithmetic Measurer for tests:
+// background interference costs throughput, Kelp shields most of it, batch
+// tasks cost a little more, and the seed variant adds a small per-machine
+// step-time skew.
+func synthMeasure(shape MachineShape) (*Measurement, error) {
+	if shape.Idle() {
+		return nil, fmt.Errorf("idle shape %v measured", shape)
+	}
+	meas := &Measurement{BatchItemsPerSec: 5 * float64(shape.Batch)}
+	if !shape.HasWorker {
+		return meas, nil
+	}
+	rate := 10.0
+	penalty := 0.0
+	if shape.HasBackground {
+		penalty += 0.12 * float64(shape.Background+1)
+	}
+	penalty += 0.03 * float64(shape.Batch)
+	if shape.KelpOn {
+		penalty *= 0.2
+	}
+	rate *= 1 - penalty
+	d := (1 / rate) * (1 + 0.01*float64(shape.Variant))
+	times := make([]float64, 60)
+	for k := range times {
+		times[k] = float64(k+1) * d
+	}
+	meas.StepsPerSec = 1 / d
+	meas.StepTimes = times
+	return meas, nil
+}
+
+// testConfig is a small fleet every test can afford.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Machines = 300
+	cfg.Jobs = 4
+	cfg.WorkersPerJob = 4
+	cfg.BatchTasks = 90
+	return cfg
+}
+
+func TestFleetConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := (Config{Machines: 0, SamplesPerMachine: 1}).Validate(); err == nil {
-		t.Error("zero machines accepted")
+	bad := []Config{
+		{},
+		{Machines: 10, Jobs: 1, WorkersPerJob: 1, Policy: "nope"},
+		{Machines: 10, Jobs: 3, WorkersPerJob: 4, Policy: PolicyRandom},
+		{Machines: 10, Jobs: 1, WorkersPerJob: 1, Policy: PolicyRandom, KelpFraction: 1.5},
+		{Machines: 10, Jobs: 1, WorkersPerJob: 1, Policy: PolicyRandom, BatchTasks: -1},
+		{Machines: 10, Jobs: 1, WorkersPerJob: 1, Policy: PolicyRandom, SeedVariants: -1},
+		{Machines: 10, Jobs: 1, WorkersPerJob: 1, Policy: PolicyRandom, Horizon: -1},
 	}
-	if err := (Config{Machines: 1, SamplesPerMachine: 0}).Validate(); err == nil {
-		t.Error("zero samples accepted")
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
 	}
 }
 
-func TestRunRejectsInvalid(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
-		t.Error("invalid config accepted")
+func TestBuildDeterministic(t *testing.T) {
+	for _, p := range Policies() {
+		cfg := testConfig()
+		cfg.Policy = p
+		a, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Machines(), b.Machines()) {
+			t.Errorf("%s: same seed placed differently", p)
+		}
+		cfg.Seed++
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Machines(), c.Machines()) {
+			t.Errorf("%s: different seeds placed identically", p)
+		}
 	}
 }
 
-func TestCensusShapeMatchesPaper(t *testing.T) {
-	c, err := Run(DefaultConfig())
+func TestPlacementInvariants(t *testing.T) {
+	for _, p := range Policies() {
+		cfg := testConfig()
+		cfg.Policy = p
+		f, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		workers := make(map[int]int)
+		batch := 0
+		for _, m := range f.Machines() {
+			if m.Job >= 0 {
+				workers[m.Job]++
+			}
+			if m.Batch < 0 || m.Batch > MaxBatchPerMach {
+				t.Fatalf("%s: machine %d holds %d batch tasks", p, m.ID, m.Batch)
+			}
+			batch += m.Batch
+		}
+		if len(workers) != cfg.Jobs {
+			t.Errorf("%s: %d jobs placed, want %d", p, len(workers), cfg.Jobs)
+		}
+		for j, n := range workers {
+			if n != cfg.WorkersPerJob {
+				t.Errorf("%s: job %d has %d workers, want %d", p, j, n, cfg.WorkersPerJob)
+			}
+		}
+		if batch != cfg.BatchTasks {
+			t.Errorf("%s: %d batch tasks placed, want %d", p, batch, cfg.BatchTasks)
+		}
+	}
+}
+
+// The Kelp-aware policy must put every worker on the protected population
+// when it is large enough to hold them.
+func TestKelpAwareWorkerPlacement(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = PolicyKelpAware
+	f, err := Build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.P99) != DefaultConfig().Machines {
-		t.Fatalf("got %d machines", len(c.P99))
-	}
-	// The paper's headline: ~16% of machines exceed 70% of peak.
-	above := c.FractionAbove(0.70)
-	if above < 0.10 || above > 0.22 {
-		t.Errorf("fraction above 70%% = %.3f, want ~0.16", above)
-	}
-	// Sanity: everything in [0, 1] and sorted.
-	for i, v := range c.P99 {
-		if v < 0 || v > 1 {
-			t.Fatalf("P99[%d] = %v out of range", i, v)
-		}
-		if i > 0 && v < c.P99[i-1] {
-			t.Fatal("P99 not sorted")
+	for _, m := range f.Machines() {
+		if m.Job >= 0 && !m.KelpOn {
+			t.Fatalf("kelp-aware policy placed job %d's worker on Kelp-off machine %d", m.Job, m.ID)
 		}
 	}
 }
 
-func TestCDFMonotone(t *testing.T) {
-	c, err := Run(Config{Machines: 2000, SamplesPerMachine: 100, Seed: 5})
+// The distress-aware policy's rebalance pass must leave no worker machine
+// above the watermark while non-worker headroom exists; random keeps its
+// saturating placements.
+func TestDistressRebalance(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchTasks = 400 // enough pressure that random saturates some ML machines
+	saturated := func(p Policy) int {
+		cfg.Policy = p
+		f, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range f.Machines() {
+			m := &f.Machines()[i]
+			if m.Job >= 0 && m.estLoad() > SaturateMark {
+				n++
+			}
+		}
+		return n
+	}
+	if n := saturated(PolicyDistress); n != 0 {
+		t.Errorf("distress policy left %d saturated worker machines", n)
+	}
+	if n := saturated(PolicyRandom); n == 0 {
+		t.Skip("random placement saturated no worker machine at this seed; contrast not exercised")
+	}
+}
+
+func TestEscalate(t *testing.T) {
+	s := MachineShape{HasWorker: true}
+	s = s.Escalate()
+	if !s.HasBackground || s.Background != workload.LevelMedium {
+		t.Fatalf("clean shape escalated to %+v", s)
+	}
+	s = s.Escalate()
+	if s.Background != workload.LevelHigh {
+		t.Fatalf("medium shape escalated to %+v", s)
+	}
+	if s.Escalate().Background != workload.LevelHigh {
+		t.Fatal("high shape escalated past high")
+	}
+}
+
+// Fleet results must be byte-identical at any simulation parallelism.
+func TestSimulateParallelIdentical(t *testing.T) {
+	run := func(parallel int) *Result {
+		cfg := testConfig()
+		cfg.Faults = clusterfaults.Spec{Seed: 7, Crash: 0.02, Downtime: 1.5, Hang: 0.1, HangDur: 0.5}
+		cfg.Horizon = 60 * sim.Second
+		res, err := Run(cfg, synthMeasure, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Errorf("parallel 1 vs 8 diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// Under colocation the Kelp-on population must out-produce the Kelp-off
+// population, and an all-Kelp fleet must beat an all-Baseline one.
+func TestKelpPopulationWins(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, synthMeasure, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
-	cdf := c.CDF(grid)
-	prev := -1.0
-	for _, p := range cdf {
-		if p[1] < prev {
-			t.Fatalf("CDF not monotone: %v", cdf)
-		}
-		prev = p[1]
+	if res.WorkersOn == 0 || res.WorkersOff == 0 {
+		t.Fatalf("mixed fleet has empty population: %+v", res)
 	}
-	if cdf[len(cdf)-1][1] < cdf[0][1] {
-		t.Error("CDF decreasing")
+	if res.MPGKelpOn <= res.MPGKelpOff {
+		t.Errorf("MPG kelp-on %.3f <= kelp-off %.3f", res.MPGKelpOn, res.MPGKelpOff)
 	}
-}
-
-func TestFractionAboveProperties(t *testing.T) {
-	c, err := Run(Config{Machines: 500, SamplesPerMachine: 50, Seed: 3})
+	off := cfg
+	off.KelpFraction = 0
+	on := cfg
+	on.KelpFraction = 1
+	roff, err := Run(off, synthMeasure, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.FractionAbove(-1); got != 1 {
-		t.Errorf("FractionAbove(-1) = %v, want 1", got)
+	ron, err := Run(on, synthMeasure, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := c.FractionAbove(1.1); got != 0 {
-		t.Errorf("FractionAbove(1.1) = %v, want 0", got)
-	}
-	f := func(a, b float64) bool {
-		lo, hi := a, b
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		return c.FractionAbove(hi) <= c.FractionAbove(lo)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Error(err)
+	if ron.MPG <= roff.MPG {
+		t.Errorf("all-Kelp fleet MPG %.3f <= all-Baseline %.3f", ron.MPG, roff.MPG)
 	}
 }
 
-func TestDeterministicPerSeed(t *testing.T) {
-	cfg := Config{Machines: 300, SamplesPerMachine: 40, Seed: 9}
-	a, _ := Run(cfg)
-	b, _ := Run(cfg)
-	for i := range a.P99 {
-		if a.P99[i] != b.P99[i] {
-			t.Fatal("same seed diverged")
-		}
+// Degrade faults require escalated-shape measurements; Tick must wire them
+// into the members' degraded series.
+func TestDegradeSeriesWired(t *testing.T) {
+	cfg := testConfig()
+	cfg.Faults = clusterfaults.Spec{Seed: 3, Degrade: 0.05}
+	cfg.Horizon = 60 * sim.Second
+	res, err := Run(cfg, synthMeasure, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	cfg.Seed = 10
-	c, _ := Run(cfg)
-	same := true
-	for i := range a.P99 {
-		if a.P99[i] != c.P99[i] {
-			same = false
-			break
-		}
-	}
-	if same {
-		t.Error("different seeds identical")
+	if res.MPG <= 0 || res.MPG > 1 {
+		t.Errorf("MPG = %v under degrade faults", res.MPG)
 	}
 }
 
-func TestEmptyCensus(t *testing.T) {
-	var c Census
-	if c.FractionAbove(0.5) != 0 {
-		t.Error("empty census should report 0")
+func TestTickRequiresSimulate(t *testing.T) {
+	f, err := Build(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Tick(); err == nil {
+		t.Error("Tick before Simulate accepted")
+	}
+}
+
+// A recorder sees the placement decisions; the Kelp-aware policy's
+// colocate-then-trim loop emits saturations, evictions and rebalances, and
+// the recorder never changes results.
+func TestFleetEvents(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = PolicyKelpAware
+	quiet, err := Run(cfg, synthMeasure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := events.MustNew(1 << 14)
+	cfg.Events = rec
+	recorded, err := Run(cfg, synthMeasure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Events = nil
+	if !reflect.DeepEqual(quiet, recorded) {
+		t.Error("attaching a recorder changed fleet results")
+	}
+	counts := make(map[events.Type]int)
+	for _, e := range rec.Events() {
+		counts[e.Type]++
+	}
+	if counts[events.FleetPlace] < cfg.Jobs+1 {
+		t.Errorf("fleet.place events = %d, want >= %d", counts[events.FleetPlace], cfg.Jobs+1)
+	}
+	if counts[events.MachineSaturate] == 0 {
+		t.Error("no machine.saturate events under batch pressure")
+	}
+	if counts[events.FleetEvict] == 0 || counts[events.FleetEvict] != counts[events.FleetRebalance] {
+		t.Errorf("evict/rebalance events = %d/%d, want equal and > 0",
+			counts[events.FleetEvict], counts[events.FleetRebalance])
+	}
+}
+
+// An all-workers-dead job must drag the fleet MPG down via a zero, not
+// poison it with NaN (the cluster aggregation bugfix, seen fleet-side).
+func TestAllDeadJobContributesZero(t *testing.T) {
+	cfg := testConfig()
+	cfg.Faults = clusterfaults.Spec{Seed: 5, Crash: 1000, Downtime: 0.5, RestartFail: 1}
+	cfg.Recovery = cluster.RecoveryConfig{MaxRestarts: 1}
+	cfg.Horizon = 30 * sim.Second
+	res, err := Run(cfg, synthMeasure, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MPG != 0 || res.AvailabilityGoodput != 0 {
+		t.Errorf("all-dead fleet reports MPG=%v avail=%v, want 0/0", res.MPG, res.AvailabilityGoodput)
+	}
+	for _, j := range res.Jobs {
+		if j.DeadWorkers != cfg.WorkersPerJob {
+			t.Fatalf("job %d: %d dead workers, want %d", j.Job, j.DeadWorkers, cfg.WorkersPerJob)
+		}
+	}
+}
+
+// BenchmarkFleetTick pins the fleet composition hot path: per-job
+// lock-step composition plus fault replay over canned measurements
+// (simulation cost is excluded — that is the node model's benchmark).
+func BenchmarkFleetTick(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Faults = clusterfaults.Spec{Seed: 7, Crash: 0.02, Downtime: 1.5, Hang: 0.1, HangDur: 0.5}
+	cfg.Horizon = 120 * sim.Second
+	f, err := Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Simulate(synthMeasure, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Tick(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kelp/internal/events"
+)
+
+// place assigns every job's workers and every batch task to machines under
+// the configured policy, then (for the distress-aware policies) runs one
+// rebalance pass that moves batch work off saturated worker machines. All
+// decisions are serial and draw only from the given seeded rng, so
+// placement is deterministic in (Config, Seed).
+func (f *Fleet) place(rng *rand.Rand) error {
+	for j := 0; j < f.cfg.Jobs; j++ {
+		if err := f.placeJob(j, rng); err != nil {
+			return err
+		}
+	}
+	f.placeBatch(rng)
+	f.saturationPass()
+	return nil
+}
+
+// workerCandidates returns machines able to host a worker (no worker yet),
+// ordered by the policy's preference.
+func (f *Fleet) workerCandidates(rng *rand.Rand) []*Machine {
+	var cand []*Machine
+	for i := range f.machines {
+		if f.machines[i].Job < 0 {
+			cand = append(cand, &f.machines[i])
+		}
+	}
+	switch f.cfg.Policy {
+	case PolicyRandom:
+		rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	case PolicyBandwidth:
+		sortByLoad(cand)
+	case PolicyDistress:
+		// Below-watermark machines first (each group least-loaded first):
+		// a worker should not land on a machine already near saturation.
+		sort.SliceStable(cand, func(i, j int) bool {
+			di := cand[i].estLoad()+workerLoadEst > SaturateMark
+			dj := cand[j].estLoad()+workerLoadEst > SaturateMark
+			if di != dj {
+				return !di
+			}
+			return lessLoad(cand[i], cand[j])
+		})
+	case PolicyKelpAware:
+		// Kelp-on machines first — the protected population is where ML
+		// belongs — then by headroom within each population.
+		sort.SliceStable(cand, func(i, j int) bool {
+			if cand[i].KelpOn != cand[j].KelpOn {
+				return cand[i].KelpOn
+			}
+			return lessLoad(cand[i], cand[j])
+		})
+	}
+	return cand
+}
+
+// placeJob assigns job j's workers to the policy's top-ranked free
+// machines and emits one fleet.place event.
+func (f *Fleet) placeJob(j int, rng *rand.Rand) error {
+	cand := f.workerCandidates(rng)
+	if len(cand) < f.cfg.WorkersPerJob {
+		return fmt.Errorf("fleet: job %d needs %d machines, %d free", j, f.cfg.WorkersPerJob, len(cand))
+	}
+	kelpOn := 0
+	for w := 0; w < f.cfg.WorkersPerJob; w++ {
+		cand[w].Job = j
+		if cand[w].KelpOn {
+			kelpOn++
+		}
+	}
+	if f.cfg.Events.Enabled() {
+		f.cfg.Events.Emit(0, events.FleetPlace, "fleet", map[string]any{
+			"job":     j,
+			"workers": f.cfg.WorkersPerJob,
+			"kelp_on": kelpOn,
+			"policy":  string(f.cfg.Policy),
+		})
+	}
+	return nil
+}
+
+// placeBatch assigns every batch task to a machine under the policy and
+// emits one summarizing fleet.place event.
+func (f *Fleet) placeBatch(rng *rand.Rand) {
+	if f.cfg.BatchTasks == 0 {
+		return
+	}
+	for t := 0; t < f.cfg.BatchTasks; t++ {
+		if m := f.pickBatchMachine(rng); m != nil {
+			m.Batch++
+		}
+	}
+	placed := 0
+	for i := range f.machines {
+		placed += f.machines[i].Batch
+	}
+	if f.cfg.Events.Enabled() {
+		f.cfg.Events.Emit(0, events.FleetPlace, "fleet", map[string]any{
+			"batch_tasks": placed,
+			"requested":   f.cfg.BatchTasks,
+			"policy":      string(f.cfg.Policy),
+		})
+	}
+}
+
+// pickBatchMachine selects the machine for one batch task, or nil when the
+// whole fleet is at the per-machine batch cap.
+func (f *Fleet) pickBatchMachine(rng *rand.Rand) *Machine {
+	switch f.cfg.Policy {
+	case PolicyRandom:
+		// Rejection-sample a machine with batch headroom; bail to a linear
+		// scan when the fleet is nearly full so placement always ends.
+		for try := 0; try < 4*len(f.machines); try++ {
+			m := &f.machines[rng.Intn(len(f.machines))]
+			if m.Batch < MaxBatchPerMach {
+				return m
+			}
+		}
+		return f.minLoadMachine(func(m *Machine) bool { return m.Batch < MaxBatchPerMach })
+	case PolicyBandwidth:
+		return f.minLoadMachine(func(m *Machine) bool { return m.Batch < MaxBatchPerMach })
+	case PolicyDistress:
+		// Prefer machines that stay below the watermark and host no
+		// worker; then below-watermark worker machines; then any headroom.
+		if m := f.minLoadMachine(func(m *Machine) bool {
+			return m.Batch < MaxBatchPerMach && m.Job < 0 && m.estLoad()+batchLoadEst <= SaturateMark
+		}); m != nil {
+			return m
+		}
+		if m := f.minLoadMachine(func(m *Machine) bool {
+			return m.Batch < MaxBatchPerMach && m.estLoad()+batchLoadEst <= SaturateMark
+		}); m != nil {
+			return m
+		}
+		return f.minLoadMachine(func(m *Machine) bool { return m.Batch < MaxBatchPerMach })
+	case PolicyKelpAware:
+		// Colocate onto Kelp-protected worker machines first, watermark be
+		// damned — node-level QoS keeps the ML side safe, and the
+		// saturation pass afterwards trims overloaded machines back (the
+		// colocate-then-trim loop). Overflow to idle-ish non-worker
+		// machines, then anywhere with headroom.
+		if m := f.minLoadMachine(func(m *Machine) bool {
+			return m.Batch < MaxBatchPerMach && m.Job >= 0 && m.KelpOn
+		}); m != nil {
+			return m
+		}
+		if m := f.minLoadMachine(func(m *Machine) bool {
+			return m.Batch < MaxBatchPerMach && m.Job < 0 && m.estLoad()+batchLoadEst <= SaturateMark
+		}); m != nil {
+			return m
+		}
+		return f.minLoadMachine(func(m *Machine) bool { return m.Batch < MaxBatchPerMach })
+	}
+	return nil
+}
+
+// minLoadMachine returns the eligible machine with the lowest estimated
+// load (lowest ID on ties), or nil when none is eligible.
+func (f *Fleet) minLoadMachine(ok func(*Machine) bool) *Machine {
+	var best *Machine
+	for i := range f.machines {
+		m := &f.machines[i]
+		if !ok(m) {
+			continue
+		}
+		if best == nil || m.estLoad() < best.estLoad() {
+			best = m
+		}
+	}
+	return best
+}
+
+// saturationPass inspects every worker machine's estimated load. Machines
+// across the watermark emit machine.saturate; under the distress-aware
+// policies (PolicyDistress, PolicyKelpAware) their batch tasks are then
+// evicted down to the watermark and rebalanced onto best-effort-only
+// machines — on a distressed ML machine, batch is either throttled to
+// scraps (Kelp) or poisoning the worker (Baseline), so even a busier
+// machine with no SLO to protect is a strictly better home. For the
+// Kelp-aware policy this is the trim half of its colocate-then-trim loop;
+// random and plain bin-packing keep their saturating placements, which is
+// exactly the contrast the fleet study measures.
+func (f *Fleet) saturationPass() {
+	rebalance := f.cfg.Policy == PolicyDistress || f.cfg.Policy == PolicyKelpAware
+	for i := range f.machines {
+		m := &f.machines[i]
+		if m.Job < 0 || m.estLoad() <= SaturateMark {
+			continue
+		}
+		if f.cfg.Events.Enabled() {
+			f.cfg.Events.Emit(0, events.MachineSaturate, "fleet", map[string]any{
+				"machine": m.ID,
+				"est_bw":  m.estLoad(),
+				"job":     m.Job,
+			})
+		}
+		if !rebalance {
+			continue
+		}
+		for m.Batch > 0 && m.estLoad() > SaturateMark {
+			// Prefer a destination with watermark headroom; settle for any
+			// best-effort-only machine with batch capacity.
+			dst := f.minLoadMachine(func(d *Machine) bool {
+				return d.Job < 0 && d.Batch < MaxBatchPerMach &&
+					d.estLoad()+batchLoadEst <= SaturateMark
+			})
+			if dst == nil {
+				dst = f.minLoadMachine(func(d *Machine) bool {
+					return d.Job < 0 && d.Batch < MaxBatchPerMach
+				})
+			}
+			if dst == nil {
+				break
+			}
+			m.Batch--
+			dst.Batch++
+			if f.cfg.Events.Enabled() {
+				f.cfg.Events.Emit(0, events.FleetEvict, "fleet", map[string]any{
+					"machine": m.ID,
+					"reason":  "saturation",
+				})
+				f.cfg.Events.Emit(0, events.FleetRebalance, "fleet", map[string]any{
+					"from": m.ID,
+					"to":   dst.ID,
+				})
+			}
+		}
+	}
+}
+
+// lessLoad orders machines by census load, lowest ID on ties.
+func lessLoad(a, b *Machine) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.ID < b.ID
+}
+
+// sortByLoad sorts machines least-loaded first, stable by ID.
+func sortByLoad(ms []*Machine) {
+	sort.SliceStable(ms, func(i, j int) bool { return lessLoad(ms[i], ms[j]) })
+}

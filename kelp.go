@@ -202,10 +202,31 @@ var (
 )
 
 // FleetConfig parameterizes the fleet bandwidth census (Fig. 2).
-type FleetConfig = fleet.Config
+type FleetConfig = fleet.CensusConfig
 
-// DefaultFleetConfig profiles a 10,000-machine synthetic fleet.
-func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+// DefaultFleetConfig profiles a 10,000-machine synthetic fleet census.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultCensusConfig() }
+
+// FleetRuntimeConfig parameterizes the fleet-scale goodput simulator:
+// thousands of heterogeneous machines, lock-step ML jobs and batch tasks
+// placed by pluggable policies, composed into fleet-wide ML Productivity
+// Goodput. See docs/FLEET.md.
+type FleetRuntimeConfig = fleet.Config
+
+// FleetResult is the fleet runtime's composed outcome.
+type FleetResult = fleet.Result
+
+// DefaultFleetRuntimeConfig places 8 jobs and 600 batch tasks on 2,000
+// machines, half running Kelp.
+func DefaultFleetRuntimeConfig() FleetRuntimeConfig { return fleet.DefaultConfig() }
+
+// RunFleet builds, simulates and composes a fleet using the experiments
+// harness's node-simulation measurer. parallel bounds shape-simulation
+// concurrency (0 = one worker per CPU); results are identical at any
+// setting.
+func RunFleet(cfg FleetRuntimeConfig, parallel int) (*FleetResult, error) {
+	return fleet.Run(cfg, experiments.NewHarness().MachineMeasurer(), parallel)
+}
 
 // TraceConfig parameterizes the execution-timeline trace (Fig. 3).
 type TraceConfig = trace.Config

@@ -41,10 +41,11 @@ fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-# Hot-path microbenchmarks: the allocation-free simulation step and the
-# zero-cost disabled instrumentation path.
-MICRO_PKGS="./internal/memsys ./internal/node ./internal/sim ./internal/events"
-MICRO_BENCH='BenchmarkResolve|BenchmarkNodeStep|BenchmarkEngineTick|BenchmarkEmit'
+# Hot-path microbenchmarks: the allocation-free simulation step, the
+# zero-cost disabled instrumentation path, and the fleet composition tick
+# (placement + per-job cluster replay over pre-measured shapes).
+MICRO_PKGS="./internal/memsys ./internal/node ./internal/sim ./internal/events ./internal/fleet"
+MICRO_BENCH='BenchmarkResolve|BenchmarkNodeStep|BenchmarkEngineTick|BenchmarkEmit|BenchmarkFleetTick'
 
 case "$MODE" in
 quick)

@@ -5,6 +5,10 @@
 #      ("// Package <name> ..." in some file of the package);
 #   2. every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
 #      and docs/*.md resolves to a file or directory in the repo.
+#   3. the advertised runnable examples exist and carry an `// Output:`
+#      marker, so `go test` executes them and godoc renders them (the test
+#      job actually runs them; this keeps them from being silently
+#      deleted or demoted to non-verified examples).
 #
 # Exits non-zero listing every violation (it does not stop at the first).
 set -u
@@ -39,6 +43,23 @@ for doc in $docs; do
             fail=1
         fi
     done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 3. runnable examples ----------------------------------------------------
+# pkg-dir:ExampleName pairs that the docs reference as runnable sessions.
+examples="internal/fleet:ExampleRun internal/pool:ExampleCollect"
+for pair in $examples; do
+    dir=${pair%%:*}
+    name=${pair##*:}
+    if ! grep -q "^func $name(" "$dir"/*_test.go 2>/dev/null; then
+        echo "check_docs: $dir is missing runnable example func $name"
+        fail=1
+        continue
+    fi
+    if ! grep -rq "// Output:" "$dir"/example_test.go 2>/dev/null; then
+        echo "check_docs: $dir/example_test.go has no '// Output:' marker ($name is not a verified example)"
+        fail=1
+    fi
 done
 
 if [ "$fail" -ne 0 ]; then
