@@ -120,7 +120,7 @@ func emitBaseline(w io.Writer, base map[string]float64, match *regexp.Regexp) {
 func main() {
 	baseline := flag.String("baseline", "", "BENCH_*.json snapshot to compare against")
 	benchFile := flag.String("bench", "", "raw `go test -bench` output file")
-	match := flag.String("match", "^(BenchmarkResolveSteady|BenchmarkEngineTick|BenchmarkFleetTick)$", "regexp of benchmark names to guard")
+	match := flag.String("match", "^(BenchmarkResolveSteady|BenchmarkEngineTick|BenchmarkFleetTick|BenchmarkSessionAdvance|BenchmarkMiddlewareOverhead)$", "regexp of benchmark names to guard")
 	maxRatio := flag.Float64("max-ratio", 1.25, "fail when fresh ns/op exceeds baseline by this ratio")
 	emit := flag.String("emit-baseline", "", "write the baseline in benchmark text format (for benchstat) and exit")
 	flag.Parse()

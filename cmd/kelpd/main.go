@@ -1,28 +1,36 @@
-// Command kelpd runs a managed node behind an HTTP API: admission
-// (POST /tasks), simulation control (POST /advance), a Prometheus-style
-// /metrics endpoint, the flight-recorder event stream (GET /events), and
-// the sysfs-style control surface under /fs/.
+// Command kelpd runs a multi-tenant simulation session server: named
+// sessions (each its own managed node) under /sessions/..., per-session
+// async advance job queues with backpressure, token-bucket rate limiting,
+// panic recovery, TTL idle eviction, and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	kelpd [-addr :8080] [-policy KP] [-profile prof.json] [-faults spec] [-events out.jsonl]
+//	kelpd [-addr :8080] [-policy KP] [-profile prof.json] [-faults spec]
+//	      [-max-sessions 1024] [-session-ttl 15m] [-queue-depth 32]
+//	      [-job-timeout 30s] [-request-timeout 10s] [-rate 0] [-burst 0]
+//	      [-max-body 1048576] [-events out.jsonl] [-events-dir dir] [-quiet]
 //
 // Example session:
 //
-//	curl -XPOST localhost:8080/tasks -d '{"ml":"CNN1","cores":2}'
-//	curl -XPOST localhost:8080/tasks -d '{"kind":"Stitch"}'
-//	curl -XPOST localhost:8080/advance -d '{"ms":2000}'
-//	curl localhost:8080/metrics
+//	curl -XPOST localhost:8080/sessions -d '{"name":"a"}'
+//	curl -XPOST localhost:8080/sessions/a/tasks -d '{"ml":"CNN1","cores":2}'
+//	curl -XPOST localhost:8080/sessions/a/tasks -d '{"kind":"Stitch"}'
+//	curl -XPOST localhost:8080/sessions/a/advance -d '{"ms":2000,"wait":true}'
+//	curl localhost:8080/sessions/a/metrics
 //	curl localhost:8080/healthz
-//	curl 'localhost:8080/events?type=distress.assert&type=kelp.actuate'
-//	curl localhost:8080/fs/cgroup/low/cpuset.cpus
+//	curl 'localhost:8080/sessions/a/events?type=kelp.actuate'
+//	curl -XDELETE localhost:8080/sessions/a
 //
-// The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests get
-// a bounded grace period and, when -events is set, the flight-recorder
-// buffer is flushed to the given JSONL file on exit.
+// On SIGINT/SIGTERM the daemon drains gracefully: admission stops (new
+// sessions and advance jobs answer 503), queued jobs finish — or are
+// canceled when the grace period expires — every session's flight
+// recorder is flushed to -events-dir, and only then does the listener
+// close. -events flushes the server's own control-plane event stream
+// (server.*, session.*) on exit.
 //
-// See docs/OBSERVABILITY.md for the event taxonomy and a worked session,
-// and docs/RESILIENCE.md for the -faults spec format.
+// See docs/KELPD.md for the session API and overload semantics,
+// docs/OBSERVABILITY.md for the event taxonomy, and docs/RESILIENCE.md
+// for the -faults spec format.
 package main
 
 import (
@@ -36,69 +44,100 @@ import (
 	"syscall"
 	"time"
 
-	"kelp/internal/agent"
 	"kelp/internal/events"
 	"kelp/internal/faults"
 	"kelp/internal/httpd"
-	"kelp/internal/node"
-	"kelp/internal/policy"
 	"kelp/internal/profile"
 	"kelp/internal/scenario"
 )
 
-// shutdownGrace bounds how long in-flight requests may run after a
-// termination signal before the listener is torn down anyway.
-const shutdownGrace = 5 * time.Second
+// drainGrace bounds how long queued jobs may keep running after a
+// termination signal before they are canceled; listener teardown gets the
+// same budget again afterwards.
+const drainGrace = 5 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	polFlag := flag.String("policy", "KP", "isolation policy: BL, CT, KP-SD, KP, HW-FG, MBA")
-	profilePath := flag.String("profile", "", "JSON QoS profile for the accelerated task")
-	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.2,actstick=0.1 (see docs/RESILIENCE.md)")
-	eventsPath := flag.String("events", "", "flush the flight-recorder events as JSONL to this file on shutdown")
+	polFlag := flag.String("policy", "KP", "default isolation policy for new sessions: BL, CT, KP-SD, KP, HW-FG, MBA")
+	profilePath := flag.String("profile", "", "JSON QoS profile loaded into every session")
+	faultsFlag := flag.String("faults", "", "default fault injection spec for new sessions (see docs/RESILIENCE.md)")
+	maxSessions := flag.Int("max-sessions", 1024, "session pool capacity (503 past it)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this (negative disables)")
+	queueDepth := flag.Int("queue-depth", 32, "per-session advance queue depth (429 past it)")
+	jobTimeout := flag.Duration("job-timeout", 30*time.Second, "per-advance-job wall-clock cap")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
+	rate := flag.Float64("rate", 0, "per-client rate limit in requests/s (0 disables)")
+	burst := flag.Int("burst", 0, "rate-limit burst (0 selects 2x rate)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	eventsPath := flag.String("events", "", "flush the server control-plane events as JSONL to this file on shutdown")
+	eventsDir := flag.String("events-dir", "", "flush each session's flight recorder as <name>.jsonl into this directory on destroy/drain")
+	quiet := flag.Bool("quiet", false, "disable the structured access log")
 	flag.Parse()
 
-	if err := run(*addr, *polFlag, *profilePath, *faultsFlag, *eventsPath); err != nil {
+	if err := run(config{
+		addr: *addr, policy: *polFlag, profilePath: *profilePath,
+		faults: *faultsFlag, maxSessions: *maxSessions, sessionTTL: *sessionTTL,
+		queueDepth: *queueDepth, jobTimeout: *jobTimeout, reqTimeout: *reqTimeout,
+		rate: *rate, burst: *burst, maxBody: *maxBody,
+		eventsPath: *eventsPath, eventsDir: *eventsDir, quiet: *quiet,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "kelpd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, polFlag, profilePath, faultsFlag, eventsPath string) error {
-	pol, err := scenario.ParsePolicy(polFlag)
-	if err != nil {
+type config struct {
+	addr, policy, profilePath, faults  string
+	maxSessions, queueDepth            int
+	sessionTTL, jobTimeout, reqTimeout time.Duration
+	rate                               float64
+	burst                              int
+	maxBody                            int64
+	eventsPath, eventsDir              string
+	quiet                              bool
+}
+
+func run(c config) error {
+	if _, err := scenario.ParsePolicy(c.policy); err != nil {
 		return err
 	}
-	spec, err := faults.ParseSpec(faultsFlag)
-	if err != nil {
+	if _, err := faults.ParseSpec(c.faults); err != nil {
 		return err
 	}
-	profiles := profile.NewRegistry()
-	if profilePath != "" {
-		p, err := profile.Load(profilePath)
+	cfg := httpd.Config{
+		MaxSessions:    c.maxSessions,
+		SessionTTL:     c.sessionTTL,
+		QueueDepth:     c.queueDepth,
+		JobTimeout:     c.jobTimeout,
+		RequestTimeout: c.reqTimeout,
+		MaxBodyBytes:   c.maxBody,
+		RateLimit:      c.rate,
+		RateBurst:      c.burst,
+		DefaultPolicy:  c.policy,
+		DefaultFaults:  c.faults,
+		EventsDir:      c.eventsDir,
+	}
+	if !c.quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	if c.profilePath != "" {
+		p, err := profile.Load(c.profilePath)
 		if err != nil {
 			return err
 		}
-		if err := profiles.Put(p); err != nil {
+		cfg.Profile = &p
+	}
+	if c.eventsDir != "" {
+		if err := os.MkdirAll(c.eventsDir, 0o755); err != nil {
 			return err
 		}
 	}
-	a, err := agent.New(agent.Config{
-		Node:     node.DefaultConfig(),
-		Policy:   pol,
-		Options:  policy.DefaultOptions(),
-		Profiles: profiles,
-		Faults:   spec,
-	})
-	if err != nil {
-		return err
-	}
-	srv, err := httpd.New(a)
+	srv, err := httpd.New(cfg)
 	if err != nil {
 		return err
 	}
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: c.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -106,33 +145,40 @@ func run(addr, polFlag, profilePath, faultsFlag, eventsPath string) error {
 		}
 		close(errc)
 	}()
-	log.Printf("kelpd: policy %s, faults %s, listening on %s", pol, spec, addr)
+	log.Printf("kelpd: default policy %s, %d session slots, queue depth %d, rate %.0f/s, listening on %s",
+		c.policy, c.maxSessions, c.queueDepth, c.rate, c.addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("kelpd: %s, shutting down (grace %s)", sig, shutdownGrace)
-		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		// Drain first — admission stops, queued jobs finish or cancel,
+		// session recorders flush — and only then close the listener.
+		log.Printf("kelpd: %s, draining (grace %s)", sig, drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		srv.Drain(ctx)
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), drainGrace)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("kelpd: shutdown: %v", err)
 		}
 	case err, ok := <-errc:
+		srv.Close()
 		if ok && err != nil {
 			return err
 		}
 	}
 
-	if eventsPath != "" {
-		if err := flushEvents(a.Events(), eventsPath); err != nil {
+	if c.eventsPath != "" {
+		if err := flushEvents(srv.Events(), c.eventsPath); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// flushEvents writes the recorder's buffered events as JSONL.
+// flushEvents writes the server recorder's buffered events as JSONL.
 func flushEvents(rec *events.Recorder, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -146,7 +192,7 @@ func flushEvents(rec *events.Recorder, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	log.Printf("kelpd: %d events flushed to %s (%d dropped by the ring)",
+	log.Printf("kelpd: %d server events flushed to %s (%d dropped by the ring)",
 		len(evs), path, rec.Dropped())
 	return nil
 }

@@ -31,8 +31,9 @@ type Type string
 // The event taxonomy. Sources are the emitting layers: "memsys" (the
 // memory fabric), "kelp" / "throttler" / "mba" (the policy controllers),
 // "agent" (admission), "faults" (the node fault injector), "cluster" (the
-// fault-tolerant lock-step runtime), and "fleet" (the fleet runtime's
-// placement decisions).
+// fault-tolerant lock-step runtime), "fleet" (the fleet runtime's
+// placement decisions), and "server" (the kelpd multi-tenant session
+// server's control plane: sheds, panics, session lifecycle).
 const (
 	// DistressAssert fires when a memory controller's utilization first
 	// exceeds the distress threshold and the FAST_ASSERTED signal begins
@@ -134,6 +135,26 @@ const (
 	// load crossed the saturation watermark at placement time. Fields:
 	// machine, est_bw, job.
 	MachineSaturate Type = "machine.saturate"
+	// ServerPanic records a kelpd handler panic converted to a 500 by the
+	// recovery middleware. Fields: path, panic.
+	ServerPanic Type = "server.panic"
+	// ServerShed records a request refused by kelpd's overload protection:
+	// rate limiting, a full advance queue, a full session pool, or drain.
+	// Fields: path, reason (ratelimit | queue_full | pool_full | draining),
+	// client.
+	ServerShed Type = "server.shed"
+	// ServerWriteError records a response body that failed to encode or
+	// send (typically the client hung up mid-response). Fields: path, error.
+	ServerWriteError Type = "server.write_error"
+	// ServerDrain records the start of graceful drain: admission stops,
+	// queued jobs finish or cancel, sessions flush. Fields: sessions.
+	ServerDrain Type = "server.drain"
+	// SessionCreate records a simulation session joining the pool.
+	// Fields: session, policy.
+	SessionCreate Type = "session.create"
+	// SessionDestroy records a session leaving the pool. Fields: session,
+	// reason (api | ttl | drain), jobs_canceled.
+	SessionDestroy Type = "session.destroy"
 )
 
 // Types lists every event type in the taxonomy, in documentation order.
@@ -147,6 +168,8 @@ func Types() []Type {
 		WorkerCrash, WorkerRestart, WorkerStraggle, WorkerDegrade, WorkerDead,
 		CheckpointSave, CheckpointRestore, BarrierTimeout,
 		FleetPlace, FleetEvict, FleetRebalance, MachineSaturate,
+		ServerPanic, ServerShed, ServerWriteError, ServerDrain,
+		SessionCreate, SessionDestroy,
 	}
 }
 

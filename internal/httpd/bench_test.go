@@ -1,0 +1,53 @@
+package httpd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkSessionAdvance measures the full advance-job round trip —
+// decode, enqueue, worker handoff, 10 ms of simulation, response — through
+// the raw route table, the dominant request in any load profile.
+func BenchmarkSessionAdvance(b *testing.B) {
+	s, ts := newServer(b)
+	mkSession(b, ts.URL, "a")
+	if resp, body := do(b, "POST", ts.URL+"/sessions/a/tasks", `{"ml":"CNN1","cores":2}`); resp.StatusCode != 201 {
+		b.Fatalf("admit = %d %s", resp.StatusCode, body)
+	}
+	mux := s.routes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/sessions/a/advance",
+			strings.NewReader(`{"ms":10,"wait":true}`))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("advance = %d %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkMiddlewareOverhead measures the per-request cost of the full
+// middleware stack (logging, recovery, rate limiting, deadline, body cap)
+// on the cheapest endpoint, /healthz — the stack's fixed tax on every call.
+func BenchmarkMiddlewareOverhead(b *testing.B) {
+	s, err := New(Config{RateLimit: 1e12, RateBurst: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("healthz = %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package httpd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// httpDo is the error-returning request helper for goroutine use (t.Fatal
+// must not be called off the test goroutine).
+func httpDo(method, url, body string) (int, string, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(data), nil
+}
+
+// scriptSession runs the standard scripted workload against one named
+// session: create, admit CNN1 + antagonists, advance 1200 ms in 3 jobs.
+func scriptSession(ts, name string) error {
+	steps := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/sessions", `{"name":"` + name + `"}`, 201},
+		{"POST", "/sessions/" + name + "/tasks", `{"ml":"CNN1","cores":2}`, 201},
+		{"POST", "/sessions/" + name + "/tasks", `{"kind":"Stitch"}`, 201},
+		{"POST", "/sessions/" + name + "/tasks", `{"kind":"Stitch"}`, 201},
+		{"POST", "/sessions/" + name + "/advance", `{"ms":400,"wait":true}`, 200},
+		{"POST", "/sessions/" + name + "/advance", `{"ms":400,"wait":true}`, 200},
+		{"POST", "/sessions/" + name + "/advance", `{"ms":400,"wait":true}`, 200},
+	}
+	for _, st := range steps {
+		code, body, err := httpDo(st.method, ts+st.path, st.body)
+		if err != nil {
+			return err
+		}
+		if code != st.want {
+			return fmt.Errorf("%s %s = %d %s", st.method, st.path, code, body)
+		}
+	}
+	return nil
+}
+
+// Sessions share nothing: N identically scripted sessions driven fully
+// concurrently must each produce the same /events and /metrics bytes as a
+// session scripted serially on its own. Run under -race this is also the
+// suite's main data-race probe.
+func TestInterleavedSessionsDeterministic(t *testing.T) {
+	_, ts := newServer(t)
+
+	// Serial reference.
+	if err := scriptSession(ts.URL, "ref"); err != nil {
+		t.Fatal(err)
+	}
+	_, wantEvents := getEvents(t, ts.URL+"/sessions/ref/events")
+	_, wantMetrics := do(t, "GET", ts.URL+"/sessions/ref/metrics", "")
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := scriptSession(ts.URL, name); err != nil {
+				errs <- err
+			}
+		}(fmt.Sprintf("c%d", i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if _, body := getEvents(t, ts.URL+"/sessions/"+name+"/events"); body != wantEvents {
+			t.Errorf("session %s events diverged from the serial reference", name)
+		}
+		if _, body := do(t, "GET", ts.URL+"/sessions/"+name+"/metrics", ""); body != wantMetrics {
+			t.Errorf("session %s metrics diverged from the serial reference", name)
+		}
+	}
+}
+
+// startFrozenAdvance creates a session, locks its simulation mutex, and
+// enqueues one async job. The worker marks the job running and then blocks
+// on the held lock, so "a job is mid-advance" holds deterministically until
+// the returned release func runs (idempotent; also wired into t.Cleanup).
+func startFrozenAdvance(t *testing.T, s *Server, ts, name string) (release func()) {
+	t.Helper()
+	mkSession(t, ts, name)
+	s.mu.RLock()
+	sess := s.sessions[name]
+	s.mu.RUnlock()
+	sess.mu.Lock()
+	var once sync.Once
+	release = func() { once.Do(sess.mu.Unlock) }
+	t.Cleanup(release)
+	base := ts + "/sessions/" + name
+	if resp, body := do(t, "POST", base+"/advance", `{"ms":60000}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async advance = %d %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := do(t, "GET", base+"/jobs/1", "")
+		if strings.Contains(body, `"state":"running"`) {
+			return release
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job 1 never observed running: %s", body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// /healthz must answer from its atomic snapshot — immediately — while a
+// session is mid-advance holding its simulation lock. This is the
+// regression test for the old single-tenant server, whose /healthz shared
+// a mutex with /advance and stalled for the whole advance.
+func TestHealthzNotBlockedByAdvance(t *testing.T) {
+	s, ts := newServer(t)
+	// The worker is frozen mid-job holding the simulation lock, exactly as
+	// if a huge advance were grinding: every probe below must still answer.
+	startFrozenAdvance(t, s, ts.URL, "busy")
+
+	for i := 0; i < 50; i++ {
+		start := time.Now()
+		resp, body := do(t, "GET", ts.URL+"/healthz", "")
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("healthz took %s during an advance", d)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("healthz = %d", resp.StatusCode)
+		}
+		if !strings.Contains(body, `"jobs_running":1`) {
+			t.Fatalf("healthz missed the running job: %s", body)
+		}
+	}
+	// Session listing, session info, and job polls are lock-free too.
+	if resp, _ := do(t, "GET", ts.URL+"/sessions", ""); resp.StatusCode != 200 {
+		t.Error("session listing blocked")
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/busy", ""); resp.StatusCode != 200 {
+		t.Error("session info blocked")
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/busy/jobs/1", ""); resp.StatusCode != 200 {
+		t.Error("job poll blocked")
+	}
+}
+
+// Graceful drain: a queued job finishes, admission answers 503, and after
+// Drain returns the pool is empty with every job terminal.
+func TestDrainGraceful(t *testing.T) {
+	s, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
+	// A short pending job: drain must let it complete, not cancel it.
+	if resp, _ := do(t, "POST", base+"/advance", `{"ms":50}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("enqueue failed")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+
+	// Admission is refused while (and after) draining.
+	if resp, _ := do(t, "POST", ts.URL+"/sessions", `{"name":"late"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("create during drain not 503")
+	}
+	_, body := do(t, "GET", ts.URL+"/healthz", "")
+	if !strings.Contains(body, `"status":"draining"`) {
+		t.Errorf("healthz = %s", body)
+	}
+	if !strings.Contains(body, `"sessions":0`) {
+		t.Errorf("sessions not drained: %s", body)
+	}
+	if s.jobsQueued.Load() != 0 || s.jobsRunning.Load() != 0 {
+		t.Errorf("jobs leaked: queued=%d running=%d", s.jobsQueued.Load(), s.jobsRunning.Load())
+	}
+
+	// The drained session flushed through the job to completion.
+	out, _ := getEvents(t, ts.URL+"/events?type=session.destroy")
+	if len(out.Events) != 1 || out.Events[0].Fields["reason"] != "drain" {
+		t.Fatalf("destroy events = %v", out.Events)
+	}
+	if jc := out.Events[0].Fields["jobs_canceled"]; jc != float64(0) && jc != 0 {
+		t.Errorf("graceful drain canceled %v jobs", jc)
+	}
+}
+
+// Forced drain: when the grace context expires, running and queued jobs
+// are canceled at the next chunk boundary and reported terminal.
+func TestDrainForcedCancelsJobs(t *testing.T) {
+	s, ts := newServer(t)
+	release := startFrozenAdvance(t, s, ts.URL, "busy")
+	// A second job sits queued behind the frozen one.
+	if resp, _ := do(t, "POST", ts.URL+"/sessions/busy/advance", `{"ms":60000}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("enqueue failed")
+	}
+
+	// Keep a handle on the session's job table before the pool drops it.
+	s.mu.RLock()
+	sess := s.sessions["busy"]
+	s.mu.RUnlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() {
+		s.Drain(ctx)
+		close(drained)
+	}()
+	// Hold the simulation lock until the expired grace period has flagged
+	// the session for cancellation, then let the worker observe the flag.
+	deadline := time.Now().Add(10 * time.Second)
+	for !sess.cancel.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never canceled the session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("forced drain hung")
+	}
+
+	sess.jobMu.Lock()
+	defer sess.jobMu.Unlock()
+	if len(sess.order) != 2 {
+		t.Fatalf("job table = %d entries", len(sess.order))
+	}
+	for _, id := range sess.order {
+		j := sess.table[id]
+		if !j.terminal() {
+			t.Errorf("job %d not terminal after drain", id)
+		}
+		if st := j.state.Load(); st != jobCanceled && st != jobDone {
+			t.Errorf("job %d state = %s", id, jobStateName(st))
+		}
+	}
+	if s.jobsQueued.Load() != 0 || s.jobsRunning.Load() != 0 {
+		t.Errorf("jobs leaked: queued=%d running=%d", s.jobsQueued.Load(), s.jobsRunning.Load())
+	}
+}
+
+// Destroying a session cancels its running job rather than waiting for it.
+func TestDestroyCancelsRunningJob(t *testing.T) {
+	s, ts := newServer(t)
+	release := startFrozenAdvance(t, s, ts.URL, "busy")
+	s.mu.RLock()
+	sess := s.sessions["busy"]
+	s.mu.RUnlock()
+
+	go func() {
+		// Destroy sets the cancel flag first, so once the simulation lock
+		// frees, the job stops at its pre-run check instead of simulating.
+		time.Sleep(10 * time.Millisecond)
+		release()
+	}()
+	start := time.Now()
+	if resp, _ := do(t, "DELETE", ts.URL+"/sessions/busy", ""); resp.StatusCode != 200 {
+		t.Fatal("destroy failed")
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("destroy blocked %s on a running job", d)
+	}
+	sess.jobMu.Lock()
+	st := sess.table[1].state.Load()
+	sess.jobMu.Unlock()
+	if st != jobCanceled {
+		t.Errorf("running job state after destroy = %s, want canceled", jobStateName(st))
+	}
+}

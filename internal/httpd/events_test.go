@@ -9,14 +9,14 @@ import (
 	"kelp/internal/events"
 )
 
-// eventsResponse mirrors the GET /events payload.
+// eventsResponse mirrors the GET .../events payload.
 type eventsResponse struct {
 	Events    []events.Event `json:"events"`
 	NextSince uint64         `json:"next_since"`
 	Dropped   uint64         `json:"dropped"`
 }
 
-func getEvents(t *testing.T, url string) (eventsResponse, string) {
+func getEvents(t testing.TB, url string) (eventsResponse, string) {
 	t.Helper()
 	resp, body := do(t, "GET", url, "")
 	if resp.StatusCode != 200 {
@@ -29,24 +29,27 @@ func getEvents(t *testing.T, url string) (eventsResponse, string) {
 	return out, body
 }
 
-// runSession scripts the acceptance scenario against a fresh server: admit
-// CNN1, admit Stitch antagonists, advance 2000 ms of simulated time.
-func runSession(t *testing.T, ts string, scrapeMetrics bool) {
+// runSession scripts the acceptance scenario against one named session:
+// create it, admit CNN1, admit Stitch antagonists, advance 2000 ms of
+// simulated time in synchronous 500 ms jobs.
+func runSession(t testing.TB, ts, name string, scrapeMetrics bool) {
 	t.Helper()
-	if resp, body := do(t, "POST", ts+"/tasks", `{"ml":"CNN1","cores":2}`); resp.StatusCode != http.StatusCreated {
+	mkSession(t, ts, name)
+	base := ts + "/sessions/" + name
+	if resp, body := do(t, "POST", base+"/tasks", `{"ml":"CNN1","cores":2}`); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("ML admission = %d %s", resp.StatusCode, body)
 	}
 	for i := 0; i < 4; i++ {
-		if resp, body := do(t, "POST", ts+"/tasks", `{"kind":"Stitch"}`); resp.StatusCode != http.StatusCreated {
+		if resp, body := do(t, "POST", base+"/tasks", `{"kind":"Stitch"}`); resp.StatusCode != http.StatusCreated {
 			t.Fatalf("batch admission = %d %s", resp.StatusCode, body)
 		}
 	}
 	for i := 0; i < 4; i++ {
-		if resp, _ := do(t, "POST", ts+"/advance", `{"ms":500}`); resp.StatusCode != 200 {
-			t.Fatal("advance failed")
+		if resp, body := do(t, "POST", base+"/advance", `{"ms":500,"wait":true}`); resp.StatusCode != 200 {
+			t.Fatalf("advance = %d %s", resp.StatusCode, body)
 		}
 		if scrapeMetrics {
-			if resp, _ := do(t, "GET", ts+"/metrics", ""); resp.StatusCode != 200 {
+			if resp, _ := do(t, "GET", base+"/metrics", ""); resp.StatusCode != 200 {
 				t.Fatal("metrics scrape failed")
 			}
 		}
@@ -55,9 +58,10 @@ func runSession(t *testing.T, ts string, scrapeMetrics bool) {
 
 func TestEventsEndpointAcceptance(t *testing.T) {
 	_, ts := newServer(t)
-	runSession(t, ts.URL, false)
+	runSession(t, ts.URL, "a", false)
+	eventsURL := ts.URL + "/sessions/a/events"
 
-	out, _ := getEvents(t, ts.URL+"/events")
+	out, _ := getEvents(t, eventsURL)
 	if len(out.Events) == 0 {
 		t.Fatal("empty event stream after scripted session")
 	}
@@ -88,17 +92,17 @@ func TestEventsEndpointAcceptance(t *testing.T) {
 	}
 
 	// Cursor: polling from next_since returns nothing new until time advances.
-	cursor := fmt.Sprintf("%s/events?since=%d", ts.URL, out.NextSince)
+	cursor := fmt.Sprintf("%s?since=%d", eventsURL, out.NextSince)
 	if tail, _ := getEvents(t, cursor); len(tail.Events) != 0 || tail.NextSince != out.NextSince {
 		t.Errorf("cursor poll returned %d events, next_since %d", len(tail.Events), tail.NextSince)
 	}
-	do(t, "POST", ts.URL+"/advance", `{"ms":200}`)
+	do(t, "POST", ts.URL+"/sessions/a/advance", `{"ms":200,"wait":true}`)
 	if tail, _ := getEvents(t, cursor); len(tail.Events) == 0 {
 		t.Error("cursor poll after advance returned nothing")
 	}
 
 	// Type filter and limit.
-	filtered, _ := getEvents(t, ts.URL+"/events?type=distress.assert&type=distress.deassert")
+	filtered, _ := getEvents(t, eventsURL+"?type=distress.assert&type=distress.deassert")
 	if len(filtered.Events) == 0 {
 		t.Fatal("type filter returned nothing")
 	}
@@ -107,7 +111,7 @@ func TestEventsEndpointAcceptance(t *testing.T) {
 			t.Errorf("filtered stream contains %s", e.Type)
 		}
 	}
-	limited, _ := getEvents(t, ts.URL+"/events?limit=3")
+	limited, _ := getEvents(t, eventsURL+"?limit=3")
 	if len(limited.Events) != 3 {
 		t.Errorf("limit=3 returned %d events", len(limited.Events))
 	}
@@ -118,55 +122,75 @@ func TestEventsEndpointAcceptance(t *testing.T) {
 
 func TestEventsValidation(t *testing.T) {
 	_, ts := newServer(t)
-	for _, q := range []string{"?since=abc", "?since=-1", "?limit=0", "?limit=x"} {
-		if resp, _ := do(t, "GET", ts.URL+"/events"+q, ""); resp.StatusCode != 400 {
-			t.Errorf("GET /events%s = %d, want 400", q, resp.StatusCode)
+	mkSession(t, ts.URL, "a")
+	// Same cursor validation on both the server and the session recorder.
+	for _, base := range []string{ts.URL + "/events", ts.URL + "/sessions/a/events"} {
+		for _, q := range []string{"?since=abc", "?since=-1", "?limit=0", "?limit=x"} {
+			if resp, _ := do(t, "GET", base+q, ""); resp.StatusCode != 400 {
+				t.Errorf("GET %s%s = %d, want 400", base, q, resp.StatusCode)
+			}
 		}
-	}
-	if resp, _ := do(t, "POST", ts.URL+"/events", ""); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Error("POST /events allowed")
-	}
-	// An unknown type filter is not an error — it just matches nothing.
-	out, _ := getEvents(t, ts.URL+"/events?type=no.such.type")
-	if len(out.Events) != 0 {
-		t.Errorf("unknown type matched %d events", len(out.Events))
+		if resp, _ := do(t, "POST", base, ""); resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s allowed", base)
+		}
+		// An unknown type filter is not an error — it just matches nothing.
+		out, _ := getEvents(t, base+"?type=no.such.type")
+		if len(out.Events) != 0 {
+			t.Errorf("unknown type matched %d events", len(out.Events))
+		}
 	}
 }
 
-// Two identical scripted sessions must produce byte-identical event streams:
-// the simulation is single-clocked and seeded, so the flight recorder is a
-// pure function of the request script.
+// Two identically scripted sessions on the same server must produce
+// byte-identical event streams: each session is single-clocked and seeded,
+// so its flight recorder is a pure function of its own request script.
 func TestEventsDeterministicAcrossSessions(t *testing.T) {
-	_, ts1 := newServer(t)
-	_, ts2 := newServer(t)
-	runSession(t, ts1.URL, false)
-	runSession(t, ts2.URL, false)
-	_, body1 := getEvents(t, ts1.URL+"/events")
-	_, body2 := getEvents(t, ts2.URL+"/events")
+	_, ts := newServer(t)
+	runSession(t, ts.URL, "a", false)
+	runSession(t, ts.URL, "b", false)
+	_, body1 := getEvents(t, ts.URL+"/sessions/a/events")
+	_, body2 := getEvents(t, ts.URL+"/sessions/b/events")
 	if body1 != body2 {
 		t.Error("identical sessions produced different /events bodies")
 	}
 }
 
-// GET /metrics must read the counter window without consuming it (Peek, not
-// Window): a session polluted with metrics scrapes between every advance must
-// leave the controllers' inputs — and therefore the recorded actuation
-// stream — exactly as a scrape-free session does.
+// GET .../metrics must read the counter window without consuming it (Peek,
+// not Window): a session polluted with metrics scrapes between every
+// advance must leave the controllers' inputs — and therefore the recorded
+// actuation stream — exactly as a scrape-free session does.
 func TestMetricsScrapeDoesNotPerturbControllers(t *testing.T) {
-	_, clean := newServer(t)
-	_, scraped := newServer(t)
-	runSession(t, clean.URL, false)
-	runSession(t, scraped.URL, true)
+	_, ts := newServer(t)
+	runSession(t, ts.URL, "clean", false)
+	runSession(t, ts.URL, "scraped", true)
 
-	_, cleanEvents := getEvents(t, clean.URL+"/events")
-	_, scrapedEvents := getEvents(t, scraped.URL+"/events")
+	_, cleanEvents := getEvents(t, ts.URL+"/sessions/clean/events")
+	_, scrapedEvents := getEvents(t, ts.URL+"/sessions/scraped/events")
 	if cleanEvents != scrapedEvents {
 		t.Error("metrics scrapes changed the controllers' decision stream")
 	}
 
-	_, cleanMetrics := do(t, "GET", clean.URL+"/metrics", "")
-	_, scrapedMetrics := do(t, "GET", scraped.URL+"/metrics", "")
+	_, cleanMetrics := do(t, "GET", ts.URL+"/sessions/clean/metrics", "")
+	_, scrapedMetrics := do(t, "GET", ts.URL+"/sessions/scraped/metrics", "")
 	if cleanMetrics != scrapedMetrics {
 		t.Error("metrics scrapes changed the final metrics")
+	}
+}
+
+// The server's own control-plane recorder narrates the session lifecycle.
+func TestServerEventStream(t *testing.T) {
+	_, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	do(t, "DELETE", ts.URL+"/sessions/a", "")
+
+	out, _ := getEvents(t, ts.URL+"/events?type=session.create&type=session.destroy")
+	if len(out.Events) != 2 {
+		t.Fatalf("server events = %d, want create+destroy", len(out.Events))
+	}
+	if out.Events[0].Type != events.SessionCreate || out.Events[0].Fields["session"] != "a" {
+		t.Errorf("first event = %v", out.Events[0])
+	}
+	if out.Events[1].Type != events.SessionDestroy || out.Events[1].Fields["reason"] != "api" {
+		t.Errorf("second event = %v", out.Events[1])
 	}
 }

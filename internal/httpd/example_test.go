@@ -7,32 +7,21 @@ import (
 	"net/http/httptest"
 	"strings"
 
-	"kelp/internal/agent"
 	"kelp/internal/events"
 	"kelp/internal/httpd"
-	"kelp/internal/node"
-	"kelp/internal/policy"
 )
 
-// ExampleServer_events scripts a short kelpd session and polls the
-// flight-recorder endpoint, filtered to admission decisions. Because the
-// simulation only advances on POST /advance, the stream is a deterministic
-// function of the request script.
-func ExampleServer_events() {
-	opts := policy.DefaultOptions()
-	opts.SamplePeriod = 0.1
-	a, err := agent.New(agent.Config{
-		Node:    node.DefaultConfig(),
-		Policy:  policy.Kelp,
-		Options: opts,
-	})
+// ExampleServer_sessions scripts a short session against the multi-tenant
+// server and polls its flight-recorder endpoint, filtered to admission
+// decisions. Because a session's simulation only advances when one of its
+// own advance jobs runs, the stream is a deterministic function of the
+// request script — no matter what other sessions are doing.
+func ExampleServer_sessions() {
+	s, err := httpd.New(httpd.Config{DefaultPolicy: "KP"})
 	if err != nil {
 		panic(err)
 	}
-	s, err := httpd.New(a)
-	if err != nil {
-		panic(err)
-	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -43,11 +32,12 @@ func ExampleServer_events() {
 		}
 		resp.Body.Close()
 	}
-	post("/tasks", `{"ml":"CNN1","cores":2}`)
-	post("/tasks", `{"kind":"Stitch"}`)
-	post("/advance", `{"ms":300}`)
+	post("/sessions", `{"name":"demo"}`)
+	post("/sessions/demo/tasks", `{"ml":"CNN1","cores":2}`)
+	post("/sessions/demo/tasks", `{"kind":"Stitch"}`)
+	post("/sessions/demo/advance", `{"ms":300,"wait":true}`)
 
-	resp, err := http.Get(ts.URL + "/events?type=agent.admit")
+	resp, err := http.Get(ts.URL + "/sessions/demo/events?type=agent.admit")
 	if err != nil {
 		panic(err)
 	}

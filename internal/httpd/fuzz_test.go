@@ -8,23 +8,28 @@ import (
 	"testing"
 )
 
-// serve pushes one request through the mux and returns the recorded
+// serve pushes one request through a handler and returns the recorded
 // response, skipping inputs that do not form a parseable request line.
-func serve(s *Server, method, target, body string) (*httptest.ResponseRecorder, bool) {
+// Fuzz targets use the raw route table (no recovery middleware) so a
+// handler panic fails the target instead of becoming a 500.
+func serve(h http.Handler, method, target, body string) (*httptest.ResponseRecorder, bool) {
 	req, err := http.NewRequest(method, target, strings.NewReader(body))
 	if err != nil {
 		return nil, false
 	}
 	w := httptest.NewRecorder()
-	s.Handler().ServeHTTP(w, req)
+	h.ServeHTTP(w, req)
 	return w, true
 }
 
-// FuzzEventsQuery throws arbitrary query strings at GET /events. Whatever
-// the cursor, filter, and limit parameters contain, the handler must not
-// panic and must answer 200 or 400 with a valid JSON body.
+// FuzzEventsQuery throws arbitrary query strings at the server and session
+// event endpoints. Whatever the cursor, filter, and limit parameters
+// contain, the handler must not panic and must answer 200 or 400 with a
+// valid JSON body.
 func FuzzEventsQuery(f *testing.F) {
-	s, _ := newServer(f)
+	s, ts := newServer(f)
+	mkSession(f, ts.URL, "a")
+	mux := s.routes()
 	for _, seed := range []string{
 		"",
 		"since=0",
@@ -44,31 +49,35 @@ func FuzzEventsQuery(f *testing.F) {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, query string) {
-		w, ok := serve(s, http.MethodGet, "/events?"+query, "")
-		if !ok {
-			t.Skip("unparseable request line")
-		}
-		if w.Code != http.StatusOK && w.Code != http.StatusBadRequest {
-			t.Fatalf("GET /events?%q = %d", query, w.Code)
-		}
-		var v map[string]interface{}
-		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
-			t.Fatalf("GET /events?%q: invalid JSON body %q: %v", query, w.Body.String(), err)
-		}
-		if w.Code == http.StatusOK {
-			if _, ok := v["next_since"]; !ok {
-				t.Fatalf("GET /events?%q: 200 body lacks next_since: %q", query, w.Body.String())
+		for _, path := range []string{"/events?", "/sessions/a/events?"} {
+			w, ok := serve(mux, http.MethodGet, path+query, "")
+			if !ok {
+				t.Skip("unparseable request line")
+			}
+			if w.Code != http.StatusOK && w.Code != http.StatusBadRequest {
+				t.Fatalf("GET %s%q = %d", path, query, w.Code)
+			}
+			var v map[string]interface{}
+			if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+				t.Fatalf("GET %s%q: invalid JSON body %q: %v", path, query, w.Body.String(), err)
+			}
+			if w.Code == http.StatusOK {
+				if _, ok := v["next_since"]; !ok {
+					t.Fatalf("GET %s%q: 200 body lacks next_since: %q", path, query, w.Body.String())
+				}
 			}
 		}
 	})
 }
 
-// FuzzFSPath throws arbitrary paths and bodies at the sysfs-style control
-// surface under /fs/ with every supported method. The handlers must not
-// panic and must always answer with valid JSON (the GET file dump is plain
-// text) and a sane status.
+// FuzzFSPath throws arbitrary paths and bodies at one session's
+// sysfs-style control surface with every supported method. The handlers
+// must not panic and must always answer with valid JSON (the GET file dump
+// is plain text) and a sane status.
 func FuzzFSPath(f *testing.F) {
-	s, _ := newServer(f)
+	s, ts := newServer(f)
+	mkSession(f, ts.URL, "a")
+	mux := s.routes()
 	methods := []string{
 		http.MethodGet, http.MethodPut, http.MethodPost, http.MethodDelete,
 	}
@@ -94,7 +103,7 @@ func FuzzFSPath(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, m uint8, path, body string) {
 		method := methods[int(m)%len(methods)]
-		w, ok := serve(s, method, "/fs/"+path, body)
+		w, ok := serve(mux, method, "/sessions/a/fs/"+path, body)
 		if !ok {
 			t.Skip("unparseable request line")
 		}
@@ -105,6 +114,107 @@ func FuzzFSPath(f *testing.F) {
 			var v interface{}
 			if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
 				t.Fatalf("%s /fs/%q: invalid JSON body %q: %v", method, path, w.Body.String(), err)
+			}
+		}
+	})
+}
+
+// FuzzSessionPath throws arbitrary methods, session names, sub-routes and
+// bodies at the whole session route table. Nothing the path or body
+// contains may panic a handler; every answer is an HTTP status (404 for
+// unknown names, 4xx for malformed input, never 5xx except a refused
+// create) with a JSON body where one is claimed.
+func FuzzSessionPath(f *testing.F) {
+	s, ts := newServerCfg(f, Config{MaxSessions: 4})
+	mkSession(f, ts.URL, "live")
+	mux := s.routes()
+	methods := []string{
+		http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
+	}
+	for _, seed := range []struct {
+		m         uint8
+		name, sub string
+		body      string
+	}{
+		{0, "live", "", ""},
+		{0, "live", "/topology", ""},
+		{0, "live", "/jobs/1", ""},
+		{0, "live", "/jobs/99999999999999999999", ""},
+		{0, "ghost", "/metrics", ""},
+		{1, "live", "/advance", `{"ms":1}`},
+		{1, "live", "/advance", `{"ms":1e308}`},
+		{1, "live", "/tasks", `{"ml":"CNN1"}`},
+		{1, "", "", `{"name":"x"}`},
+		{1, "", "", `{"name":"../../x"}`},
+		{3, "live", "", ""},
+		{3, "ghost", "", ""},
+		{0, "a%2Fb", "/metrics", ""},
+		{0, ".", "/../../healthz", ""},
+		{2, "live", "/fs/cgroup/low/cpuset.cpus", "0-1"},
+	} {
+		f.Add(seed.m, seed.name, seed.sub, seed.body)
+	}
+	f.Fuzz(func(t *testing.T, m uint8, name, sub, body string) {
+		method := methods[int(m)%len(methods)]
+		target := "/sessions/" + name + sub
+		w, ok := serve(mux, method, target, body)
+		if !ok {
+			t.Skip("unparseable request line")
+		}
+		if w.Code < 200 || w.Code > 599 {
+			t.Fatalf("%s %q = %d", method, target, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); ct == "application/json" {
+			var v interface{}
+			if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+				t.Fatalf("%s %q: invalid JSON body %q: %v", method, target, w.Body.String(), err)
+			}
+		}
+	})
+}
+
+// FuzzAdvanceJSON throws arbitrary bytes at the advance-job decoder. The
+// handler must answer 400 for anything malformed, 200/202 for a valid job,
+// 429 when the fuzzer has legitimately filled the queue — and never panic
+// or accept a non-positive or oversized span.
+func FuzzAdvanceJSON(f *testing.F) {
+	s, ts := newServer(f)
+	mkSession(f, ts.URL, "a")
+	mux := s.routes()
+	for _, seed := range []string{
+		`{"ms":1}`,
+		`{"ms":0.5,"wait":true}`,
+		`{"ms":0}`,
+		`{"ms":-1}`,
+		`{"ms":60001}`,
+		`{"ms":1e309}`,
+		`{"ms":"fast"}`,
+		`{"ms":1}{"ms":2}`,
+		`{}`,
+		``,
+		`null`,
+		"{\"ms\":\x001}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		w, ok := serve(mux, http.MethodPost, "/sessions/a/advance", body)
+		if !ok {
+			t.Skip("unparseable request line")
+		}
+		switch w.Code {
+		case http.StatusOK, http.StatusAccepted, http.StatusBadRequest, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("POST /advance %q = %d", body, w.Code)
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+			t.Fatalf("POST /advance %q: invalid JSON body: %v", body, err)
+		}
+		if w.Code == http.StatusOK || w.Code == http.StatusAccepted {
+			ms, _ := v["ms"].(float64)
+			if !(ms > 0 && ms <= maxAdvanceMS) {
+				t.Fatalf("accepted job with ms = %v", v["ms"])
 			}
 		}
 	})

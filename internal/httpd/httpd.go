@@ -1,23 +1,46 @@
-// Package httpd serves a managed node over HTTP — the operational front a
-// production Kelp deployment would expose to its cluster scheduler and
-// monitoring stack. It wraps the node agent (admission), the sysfs-style
-// control surface (configuration), and the performance monitor (a
-// Prometheus-style text metrics endpoint).
+// Package httpd is kelpd's multi-tenant session server — the operational
+// front a production Kelp deployment would expose to its cluster scheduler
+// and monitoring stack. One process serves many independent simulation
+// sessions, each owning its own managed node (agent, flight recorder,
+// fault injector) behind its own lock, so sessions never contend and a
+// heavy request against one session cannot stall another.
 //
-// The simulation only advances when POST /advance is called, so the daemon
-// is deterministic and fully scriptable:
+// The server protects itself under adversarial load: the session pool is
+// bounded (503 on exhaustion), idle sessions are evicted on a TTL, each
+// session's /advance runs through a bounded async job queue with
+// backpressure (429 + Retry-After when full) and a per-job wall-clock
+// timeout, and every request passes a middleware stack — panic recovery,
+// per-client token-bucket rate limiting, request deadlines, bounded
+// request bodies, structured access logging. Liveness (/healthz) answers
+// from atomically updated counters and never takes a simulation lock.
 //
-//	GET  /healthz            liveness
-//	GET  /topology           machine shape (JSON)
-//	GET  /tasks              tasks with current throughput (JSON)
-//	POST /tasks              admit a task (scenario.TaskSpec JSON; ML via {"ml": "CNN1", "cores": 2})
-//	POST /advance            {"ms": 500} advance simulated time
-//	GET  /metrics            Prometheus text format (reads a counter window)
-//	GET  /events             flight-recorder events (?since=N&type=T&limit=K, JSON)
-//	GET  /fs/<path>          read a control file or list a directory
-//	PUT  /fs/<path>          write a control file (body = value)
-//	POST /fs/<path>          mkdir
-//	DELETE /fs/<path>        rmdir
+// The simulation only advances when a session's advance job runs, and
+// jobs execute FIFO on a per-session worker, so every session is
+// deterministic and fully scriptable: the same request script replayed
+// against a fresh session produces byte-identical /metrics and /events,
+// no matter how many other sessions run concurrently.
+//
+//	GET    /healthz                      liveness snapshot (lock-free)
+//	GET    /events                       server control-plane events (server.*, session.*)
+//	GET    /sessions                     list sessions
+//	POST   /sessions                     create a session {"name","policy","faults","event_capacity","seed"}
+//	GET    /sessions/{name}              one session's status
+//	DELETE /sessions/{name}              destroy a session
+//	GET    /sessions/{name}/topology     machine shape (JSON)
+//	GET    /sessions/{name}/tasks        tasks with current throughput (JSON)
+//	POST   /sessions/{name}/tasks        admit a task ({"ml":"CNN1","cores":2} or a scenario.TaskSpec)
+//	POST   /sessions/{name}/advance      {"ms":500[,"wait":true]} enqueue an advance job
+//	GET    /sessions/{name}/jobs         recent jobs
+//	GET    /sessions/{name}/jobs/{id}    one job's status
+//	GET    /sessions/{name}/metrics      Prometheus text format
+//	GET    /sessions/{name}/events       session flight recorder (?since/type/limit)
+//	GET    /sessions/{name}/fs/{path...} read a control file or list a directory
+//	PUT    /sessions/{name}/fs/{path...} write a control file (body = value)
+//	POST   /sessions/{name}/fs/{path...} mkdir
+//	DELETE /sessions/{name}/fs/{path...} rmdir
+//
+// See docs/KELPD.md for the session lifecycle, queue and backpressure
+// semantics, rate-limit knobs, and a worked curl session.
 package httpd
 
 import (
@@ -25,365 +48,351 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
-	"kelp/internal/accel"
-	"kelp/internal/agent"
 	"kelp/internal/events"
-	"kelp/internal/experiments"
-	"kelp/internal/resctrlfs"
+	"kelp/internal/profile"
 	"kelp/internal/scenario"
-	"kelp/internal/sim"
-	"kelp/internal/workload"
 )
 
-// Server is the HTTP front over one managed node.
+// Config parameterizes the session server. The zero value is usable:
+// every field falls back to the documented default.
+type Config struct {
+	// MaxSessions bounds the session pool; creation past the bound is
+	// answered 503. Default 1024.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (no request and no
+	// job activity). 0 selects the 15-minute default; negative disables
+	// eviction.
+	SessionTTL time.Duration
+	// QueueDepth bounds each session's advance job queue; enqueue past
+	// the bound is answered 429 + Retry-After. Default 32.
+	QueueDepth int
+	// JobTimeout caps one advance job's wall-clock execution; an expired
+	// job stops at the next tick-chunk boundary with status "timeout".
+	// Default 30s.
+	JobTimeout time.Duration
+	// RequestTimeout is the per-request context deadline applied by the
+	// middleware stack (synchronous waits honor it). Default 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds every request body via http.MaxBytesReader.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// RateLimit is the per-client token-bucket refill rate in requests
+	// per second; 0 disables rate limiting. Clients are keyed by the
+	// X-Kelp-Client header when present, else the remote IP. /healthz is
+	// exempt.
+	RateLimit float64
+	// RateBurst is the bucket capacity; 0 selects 2×RateLimit (min 1).
+	RateBurst int
+	// EventCapacity sizes each session's flight-recorder ring when the
+	// create request doesn't choose one. 0 selects events.DefaultCapacity.
+	EventCapacity int
+	// DefaultPolicy is the isolation policy for sessions that don't name
+	// one ("BL", "CT", "KP-SD", "KP", ...). Empty selects "KP".
+	DefaultPolicy string
+	// DefaultFaults is the fault-injection spec applied to sessions that
+	// don't carry their own.
+	DefaultFaults string
+	// Profile, when non-nil, is loaded into every session's profile
+	// registry (the kelpd -profile flag).
+	Profile *profile.Profile
+	// EventsDir, when set, receives one <session>.jsonl flight-recorder
+	// dump per session on destroy, TTL eviction, and drain.
+	EventsDir string
+	// Clock supplies wall time for TTLs, rate limiting, job timeouts and
+	// server-event timestamps; nil selects time.Now. Tests inject a fake.
+	Clock func() time.Time
+	// AccessLog, when non-nil, receives one structured line per request.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RateLimit)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.EventCapacity <= 0 {
+		c.EventCapacity = events.DefaultCapacity
+	}
+	if c.DefaultPolicy == "" {
+		c.DefaultPolicy = "KP"
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Server is the multi-tenant HTTP front over a pool of managed nodes.
 type Server struct {
-	mu    sync.Mutex
-	agent *agent.Agent
-	fs    *resctrlfs.FS
-	seq   int
+	cfg   Config
+	start time.Time
+	rec   *events.Recorder // control-plane events: server.*, session.*
+	limit *rateLimiter     // nil when rate limiting is off
+
+	mu       sync.RWMutex // guards sessions and nameSeq only
+	sessions map[string]*Session
+	nameSeq  uint64
+
+	draining atomic.Bool
+	janitor  chan struct{} // closed to stop the TTL janitor
+	janDone  chan struct{}
+
+	// Lock-free health counters; /healthz reads only these.
+	sessionsLive     atomic.Int64
+	jobsQueued       atomic.Int64
+	jobsRunning      atomic.Int64
+	jobsDone         atomic.Uint64
+	degradedSessions atomic.Int64
+	shedTotal        atomic.Uint64
+	panicsTotal      atomic.Uint64
+	writeErrors      atomic.Uint64
 }
 
-// New wraps an agent.
-func New(a *agent.Agent) (*Server, error) {
-	if a == nil {
-		return nil, fmt.Errorf("httpd: nil agent")
+// New builds a session server. A TTL janitor goroutine runs until Close
+// or Drain; tests with an injected clock call EvictIdle directly instead.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, err := scenario.ParsePolicy(cfg.DefaultPolicy); err != nil {
+		return nil, fmt.Errorf("httpd: default policy: %w", err)
 	}
-	fs, err := resctrlfs.New(a.Node())
+	rec, err := events.New(events.DefaultCapacity)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("httpd: %w", err)
 	}
-	return &Server{agent: a, fs: fs}, nil
+	s := &Server{
+		cfg:      cfg,
+		start:    cfg.Clock(),
+		rec:      rec,
+		sessions: make(map[string]*Session),
+		janitor:  make(chan struct{}),
+		janDone:  make(chan struct{}),
+	}
+	if cfg.RateLimit > 0 {
+		s.limit = newRateLimiter(cfg.RateLimit, float64(cfg.RateBurst), cfg.Clock)
+	}
+	if cfg.SessionTTL > 0 {
+		go s.runJanitor()
+	} else {
+		close(s.janDone)
+	}
+	return s, nil
 }
 
-// Handler returns the route table.
+// Events returns the server's control-plane flight recorder (server.* and
+// session.* events). Per-session simulation events live on each session's
+// own recorder, served at /sessions/{name}/events.
+func (s *Server) Events() *events.Recorder { return s.rec }
+
+// nowSec is the server-event timestamp: seconds since server start, from
+// the injected clock, so control-plane streams are deterministic in tests.
+func (s *Server) nowSec() float64 { return s.cfg.Clock().Sub(s.start).Seconds() }
+
+func (s *Server) emit(t events.Type, fields map[string]any) {
+	s.rec.Emit(s.nowSec(), t, "server", fields)
+}
+
+// shed counts and records one refused request.
+func (s *Server) shed(r *http.Request, reason string) {
+	s.shedTotal.Add(1)
+	s.emit(events.ServerShed, map[string]any{
+		"path": r.URL.Path, "reason": reason, "client": clientKey(r),
+	})
+}
+
+// Handler returns the full middleware-wrapped route table.
 func (s *Server) Handler() http.Handler {
+	return s.logging(s.recovery(s.rateLimitMW(s.timeoutMW(s.maxBytesMW(s.routes())))))
+}
+
+// routes is the raw router without middleware; the fuzz targets hit it
+// directly so handler panics surface instead of being converted to 500s.
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/topology", s.handleTopology)
-	mux.HandleFunc("/tasks", s.handleTasks)
-	mux.HandleFunc("/advance", s.handleAdvance)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/fs/", s.handleFS)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /events", s.handleServerEvents)
+	mux.HandleFunc("GET /sessions", s.handleListSessions)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /sessions/{name}", s.withSession(handleSessionInfo))
+	mux.HandleFunc("DELETE /sessions/{name}", s.handleDestroySession)
+	mux.HandleFunc("GET /sessions/{name}/topology", s.withSession(handleTopology))
+	mux.HandleFunc("GET /sessions/{name}/tasks", s.withSession(handleTasksGet))
+	mux.HandleFunc("POST /sessions/{name}/tasks", s.withSession(handleTasksPost))
+	mux.HandleFunc("POST /sessions/{name}/advance", s.withSession(handleAdvance))
+	mux.HandleFunc("GET /sessions/{name}/jobs", s.withSession(handleJobsList))
+	mux.HandleFunc("GET /sessions/{name}/jobs/{id}", s.withSession(handleJobGet))
+	mux.HandleFunc("GET /sessions/{name}/metrics", s.withSession(handleMetrics))
+	mux.HandleFunc("GET /sessions/{name}/events", s.withSession(handleEvents))
+	mux.HandleFunc("/sessions/{name}/fs/{path...}", s.withSession(handleFS))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// handleHealthz reports liveness plus the controller's degradation state:
-// a node whose control loop has fallen back to fail-safe mode is still
-// serving (the accelerated task keeps running under a conservative static
-// configuration) but reports "degraded" so the cluster scheduler can steer
-// new batch work elsewhere.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	degraded := s.agent.Degraded()
-	var injected uint64
-	if inj := s.agent.Node().Faults(); inj != nil {
-		injected = inj.Total()
+// withSession resolves the {name} path segment to a live session, bumping
+// its idle clock, and answers 404 for unknown names.
+func (s *Server) withSession(h func(*Server, *Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		s.mu.RLock()
+		sess := s.sessions[name]
+		s.mu.RUnlock()
+		if sess == nil {
+			s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("httpd: no session %q", name))
+			return
+		}
+		sess.touch(s.cfg.Clock())
+		h(s, sess, w, r)
 	}
-	s.mu.Unlock()
+}
+
+// handleHealthz is the liveness probe. It reads only atomic counters —
+// never a session or pool lock — so it answers in microseconds even while
+// every session is mid-advance. Status is "ok", "degraded" (≥1 session's
+// control loop is in fail-safe), or "draining".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	if degraded {
+	if s.degradedSessions.Load() > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":          status,
-		"degraded":        degraded,
-		"faults_injected": injected,
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":            status,
+		"sessions":          s.sessionsLive.Load(),
+		"max_sessions":      s.cfg.MaxSessions,
+		"jobs_queued":       s.jobsQueued.Load(),
+		"jobs_running":      s.jobsRunning.Load(),
+		"jobs_done":         s.jobsDone.Load(),
+		"degraded_sessions": s.degradedSessions.Load(),
+		"shed_total":        s.shedTotal.Load(),
+		"panics":            s.panicsTotal.Load(),
+		"write_errors":      s.writeErrors.Load(),
+		"uptime_sec":        s.nowSec(),
 	})
 }
 
-func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+// handleServerEvents serves the control-plane recorder with the same
+// cursor semantics as the per-session /events endpoint.
+func (s *Server) handleServerEvents(w http.ResponseWriter, r *http.Request) {
+	serveEvents(s, s.rec, w, r)
+}
+
+// writeJSON encodes v; an encode/send failure (typically the client
+// hanging up) is logged once per request via the response recorder,
+// counted, and recorded as a server.write_error event.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		if rec, ok := w.(*responseRecorder); !ok || rec.noteWriteError() {
+			s.writeErrors.Add(1)
+			s.emit(events.ServerWriteError, map[string]any{
+				"path": r.URL.Path, "error": err.Error(),
+			})
+		}
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, map[string]string{"error": err.Error()})
+}
+
+// runJanitor sweeps idle sessions every SessionTTL/4 (bounded to [1s, 30s]).
+func (s *Server) runJanitor() {
+	defer close(s.janDone)
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.EvictIdle()
+		case <-s.janitor:
+			return
+		}
+	}
+}
+
+// EvictIdle destroys every session idle longer than SessionTTL, flushing
+// its flight recorder when EventsDir is set. It returns the evicted
+// session names. The TTL janitor calls this periodically; tests with an
+// injected clock call it directly.
+func (s *Server) EvictIdle() []string {
+	if s.cfg.SessionTTL <= 0 {
+		return nil
+	}
+	now := s.cfg.Clock()
+	var idle []*Session
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := s.agent.Node()
-	topo := n.Processor().Topology()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"sockets":               topo.Sockets,
-		"cores_per_socket":      topo.CoresPerSocket,
-		"subdomains_per_socket": topo.SubdomainsPerSocket,
-		"snc_enabled":           n.Memory().Config().SNCEnabled,
-		"now_sec":               n.Now(),
-	})
-}
-
-// admitRequest is the POST /tasks body: either an accelerated task
-// ({"ml": "CNN1", "cores": 2}) or a batch task (scenario.TaskSpec fields).
-type admitRequest struct {
-	ML    string `json:"ml,omitempty"`
-	Cores int    `json:"cores,omitempty"`
-	scenario.TaskSpec
-}
-
-func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch r.Method {
-	case http.MethodGet:
-		n := s.agent.Node()
-		type taskInfo struct {
-			Name       string  `json:"name"`
-			Throughput float64 `json:"throughput"`
+	for name, sess := range s.sessions {
+		// nil marks a name reserved by an in-flight create; skip it.
+		if sess != nil && now.Sub(sess.lastUsed()) > s.cfg.SessionTTL {
+			delete(s.sessions, name)
+			idle = append(idle, sess)
 		}
-		var out []taskInfo
-		for _, t := range n.Tasks() {
-			out = append(out, taskInfo{Name: t.Name(), Throughput: t.Throughput(n.Now())})
-		}
-		writeJSON(w, http.StatusOK, out)
-	case http.MethodPost:
-		var req admitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if req.ML != "" {
-			ml, err := scenario.ParseML(req.ML)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, err)
-				return
-			}
-			cores := req.Cores
-			if cores == 0 {
-				cores = ml.MLCores()
-			}
-			task, err := buildMLTask(s.agent, ml, cores)
-			if err != nil {
-				writeErr(w, http.StatusConflict, err)
-				return
-			}
-			writeJSON(w, http.StatusCreated, map[string]string{"admitted": task})
-			return
-		}
-		spec := scenario.Spec{ML: "CNN1", Policy: "BL", CPU: []scenario.TaskSpec{req.TaskSpec}}
-		resolved, err := spec.Resolve()
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		s.seq++
-		task, err := experiments.NewCPUTask(resolved.CPU[0], s.seq,
-			s.agent.Node().Config().Memory.LLCSize)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := s.agent.AdmitBatch(task); err != nil {
-			writeErr(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, map[string]string{"admitted": task.Name()})
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
 	}
-}
-
-// buildMLTask constructs and admits the accelerated task via the agent.
-func buildMLTask(a *agent.Agent, ml experiments.MLKind, cores int) (string, error) {
-	task, err := newMLWorkload(a, ml)
-	if err != nil {
-		return "", err
-	}
-	if err := a.AdmitML(task, cores); err != nil {
-		return "", err
-	}
-	return task.Name(), nil
-}
-
-// newMLWorkload constructs (without registering) the accelerated task.
-func newMLWorkload(a *agent.Agent, ml experiments.MLKind) (workload.Task, error) {
-	switch ml {
-	case experiments.RNN1:
-		dev, err := accel.NewDevice(ml.Platform())
-		if err != nil {
-			return nil, err
-		}
-		return workload.NewRNN1(dev, a.Node().Engine().RNG().Stream("rnn1"))
-	case experiments.CNN1:
-		return workload.NewCNN1(ml.Platform())
-	case experiments.CNN2:
-		return workload.NewCNN2(ml.Platform())
-	case experiments.CNN3:
-		return workload.NewCNN3(ml.Platform())
-	}
-	return nil, fmt.Errorf("httpd: unknown ML kind %v", ml)
-}
-
-func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
-		return
-	}
-	var req struct {
-		MS float64 `json:"ms"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.MS <= 0 || req.MS > 60_000 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("ms = %v out of (0, 60000]", req.MS))
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.agent.Run(req.MS * sim.Millisecond)
-	writeJSON(w, http.StatusOK, map[string]float64{"now_sec": s.agent.Node().Now()})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := s.agent.Node()
-	// Peek: scraping must not consume the Kelp runtime's counter window.
-	sample := n.Monitor().Peek()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP kelp_socket_bandwidth_bytes Socket DRAM bandwidth, bytes/s.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_bandwidth_bytes gauge\n")
-	for sock := range sample.SocketBW {
-		fmt.Fprintf(w, "kelp_socket_bandwidth_bytes{socket=\"%d\"} %.0f\n", sock, sample.SocketBW[sock])
-	}
-	fmt.Fprintf(w, "# HELP kelp_socket_latency_seconds Loaded memory latency.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_latency_seconds gauge\n")
-	for sock := range sample.SocketLatency {
-		fmt.Fprintf(w, "kelp_socket_latency_seconds{socket=\"%d\"} %.3e\n", sock, sample.SocketLatency[sock])
-	}
-	fmt.Fprintf(w, "# HELP kelp_socket_saturation Distress signal duty cycle.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_saturation gauge\n")
-	for sock := range sample.SocketSaturation {
-		fmt.Fprintf(w, "kelp_socket_saturation{socket=\"%d\"} %.4f\n", sock, sample.SocketSaturation[sock])
-	}
-	fmt.Fprintf(w, "# HELP kelp_task_throughput Task work rate, units/s.\n")
-	fmt.Fprintf(w, "# TYPE kelp_task_throughput gauge\n")
-	for _, t := range n.Tasks() {
-		fmt.Fprintf(w, "kelp_task_throughput{task=%q} %.3f\n", t.Name(), t.Throughput(n.Now()))
-	}
-	if a := s.agent.Applied(); a != nil && a.Runtime != nil {
-		fmt.Fprintf(w, "# HELP kelp_runtime_actuator Kelp actuator values.\n")
-		fmt.Fprintf(w, "# TYPE kelp_runtime_actuator gauge\n")
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_cores\"} %d\n", a.Runtime.LowCores())
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
-	}
-}
-
-// handleEvents serves the node's flight recorder. Query parameters:
-//
-//	since=N   only events with seq > N (cursor; default 0 = everything buffered)
-//	type=T    repeatable event-type filter (e.g. type=distress.assert&type=kelp.actuate)
-//	limit=K   cap the response to the first K matching events
-//
-// The response carries next_since, the seq of the last event returned (or the
-// request's since when nothing matched), so clients can poll incrementally:
-// pass it back as ?since= on the next request. Events are returned oldest
-// first in seq order; because the simulation is single-clocked, replaying a
-// scripted session yields a byte-identical stream.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
-		return
-	}
-	q := r.URL.Query()
-	var since uint64
-	if v := q.Get("since"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("since: %w", err))
-			return
-		}
-		since = n
-	}
-	limit := 0
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("limit = %q, want a positive integer", v))
-			return
-		}
-		limit = n
-	}
-	var types []events.Type
-	for _, v := range q["type"] {
-		types = append(types, events.Type(v))
-	}
-
-	s.mu.Lock()
-	rec := s.agent.Events()
-	// The limit is pushed into the recorder query so a poll with a small
-	// limit stops scanning (and copying) as soon as it is satisfied,
-	// instead of materializing the whole matching backlog first.
-	evs := rec.SinceLimit(since, limit, types...)
-	dropped := rec.Dropped()
 	s.mu.Unlock()
-
-	next := since
-	if len(evs) > 0 {
-		next = evs[len(evs)-1].Seq
+	names := make([]string, 0, len(idle))
+	for _, sess := range idle {
+		sess.shutdown("ttl")
+		names = append(names, sess.name)
 	}
-	if evs == nil {
-		evs = []events.Event{}
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"events":     evs,
-		"next_since": next,
-		"dropped":    dropped,
-	})
+	return names
 }
 
-func (s *Server) handleFS(w http.ResponseWriter, r *http.Request) {
+// Close stops the TTL janitor and destroys every session without waiting
+// for queued jobs (they finish with status "canceled"). Use Drain for the
+// graceful path.
+func (s *Server) Close() {
+	s.stopJanitor()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	path := strings.TrimPrefix(r.URL.Path, "/fs")
-	switch r.Method {
-	case http.MethodGet:
-		// Try as a file, fall back to directory listing.
-		if data, err := s.fs.ReadFile(path); err == nil {
-			w.Header().Set("Content-Type", "text/plain")
-			fmt.Fprintln(w, data)
-			return
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		if sess != nil {
+			all = append(all, sess)
 		}
-		entries, err := s.fs.ReadDir(path)
-		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, entries)
-	case http.MethodPut:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := s.fs.WriteFile(path, string(body)); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"written": path})
-	case http.MethodPost:
-		if err := s.fs.Mkdir(path); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, map[string]string{"created": path})
-	case http.MethodDelete:
-		if err := s.fs.Rmdir(path); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"removed": path})
+	}
+	s.sessions = make(map[string]*Session)
+	s.mu.Unlock()
+	for _, sess := range all {
+		sess.cancel.Store(true)
+		sess.shutdown("drain")
+	}
+}
+
+func (s *Server) stopJanitor() {
+	select {
+	case <-s.janitor:
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		close(s.janitor)
 	}
 }

@@ -6,35 +6,54 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
-
-	"kelp/internal/agent"
-	"kelp/internal/node"
-	"kelp/internal/policy"
+	"time"
 )
 
-func newServer(t testing.TB) (*Server, *httptest.Server) {
+// fakeClock is an injectable, manually advanced wall clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// newServerCfg builds a server + httptest listener from an explicit config.
+func newServerCfg(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	opts := policy.DefaultOptions()
-	opts.SamplePeriod = 0.1
-	a, err := agent.New(agent.Config{
-		Node:    node.DefaultConfig(),
-		Policy:  policy.Kelp,
-		Options: opts,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := New(a)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
 }
 
-func do(t *testing.T, method, url string, body string) (*http.Response, string) {
+// newServer builds a default server: no rate limit, generous queue.
+func newServer(t testing.TB) (*Server, *httptest.Server) {
+	return newServerCfg(t, Config{})
+}
+
+func do(t testing.TB, method, url string, body string) (*http.Response, string) {
 	t.Helper()
 	req, err := http.NewRequest(method, url, strings.NewReader(body))
 	if err != nil {
@@ -52,61 +71,124 @@ func do(t *testing.T, method, url string, body string) (*http.Response, string) 
 	return resp, string(data)
 }
 
-func TestNewRejectsNil(t *testing.T) {
-	if _, err := New(nil); err == nil {
-		t.Error("nil agent accepted")
+// mkSession creates a named session and fails the test on any error.
+func mkSession(t testing.TB, ts, name string) {
+	t.Helper()
+	resp, body := do(t, "POST", ts+"/sessions", `{"name":"`+name+`"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session %s = %d %s", name, resp.StatusCode, body)
 	}
 }
 
-func TestHealthzAndTopology(t *testing.T) {
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{DefaultPolicy: "NOPE"}); err == nil {
+		t.Error("bad default policy accepted")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
 	_, ts := newServer(t)
-	resp, body := do(t, "GET", ts.URL+"/healthz", "")
-	if resp.StatusCode != 200 || !strings.Contains(body, "ok") {
-		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+
+	// Create.
+	resp, body := do(t, "POST", ts.URL+"/sessions", `{"name":"a","policy":"KP"}`)
+	if resp.StatusCode != http.StatusCreated || !strings.Contains(body, `"name":"a"`) {
+		t.Fatalf("create = %d %s", resp.StatusCode, body)
 	}
-	resp, body = do(t, "GET", ts.URL+"/topology", "")
+	// Duplicate name conflicts.
+	if resp, _ := do(t, "POST", ts.URL+"/sessions", `{"name":"a"}`); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create = %d, want 409", resp.StatusCode)
+	}
+	// Auto-named creation.
+	resp, body = do(t, "POST", ts.URL+"/sessions", `{}`)
+	if resp.StatusCode != http.StatusCreated || !strings.Contains(body, `"name":"s-`) {
+		t.Fatalf("auto-named create = %d %s", resp.StatusCode, body)
+	}
+
+	// List is sorted and counts both.
+	resp, body = do(t, "GET", ts.URL+"/sessions", "")
 	if resp.StatusCode != 200 {
-		t.Fatalf("topology = %d", resp.StatusCode)
+		t.Fatalf("list = %d", resp.StatusCode)
 	}
-	var topo map[string]interface{}
-	if err := json.Unmarshal([]byte(body), &topo); err != nil {
+	var list struct {
+		Sessions []map[string]any `json:"sessions"`
+		Count    int              `json:"count"`
+		Capacity int              `json:"capacity"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
 		t.Fatal(err)
 	}
-	if topo["sockets"].(float64) != 2 {
-		t.Errorf("topology = %v", topo)
+	if list.Count != 2 || len(list.Sessions) != 2 {
+		t.Fatalf("list = %s", body)
+	}
+	if list.Sessions[0]["name"].(string) != "a" {
+		t.Errorf("list not sorted: %s", body)
+	}
+
+	// Info.
+	resp, body = do(t, "GET", ts.URL+"/sessions/a", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"policy":"KP"`) {
+		t.Errorf("info = %d %s", resp.StatusCode, body)
+	}
+
+	// Destroy; then it's gone.
+	if resp, _ := do(t, "DELETE", ts.URL+"/sessions/a", ""); resp.StatusCode != 200 {
+		t.Fatal("destroy failed")
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/a", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("destroyed session still resolves")
+	}
+	if resp, _ := do(t, "DELETE", ts.URL+"/sessions/a", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("double destroy not 404")
+	}
+}
+
+func TestSessionCreateValidation(t *testing.T) {
+	_, ts := newServer(t)
+	for _, body := range []string{
+		`{"name":"has/slash"}`,
+		`{"name":"` + strings.Repeat("x", 65) + `"}`,
+		`{"policy":"GPT"}`,
+		`{"faults":"nonsense=1"}`,
+		`{"sample_period_sec":-1}`,
+		`not json`,
+		`{}{}`,
+	} {
+		if resp, _ := do(t, "POST", ts.URL+"/sessions", body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("create(%s) = %d, want 400", body, resp.StatusCode)
+		}
 	}
 }
 
 func TestFullLifecycleOverHTTP(t *testing.T) {
 	_, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
 
 	// 1. Admit the accelerated task.
-	resp, body := do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN1","cores":2}`)
+	resp, body := do(t, "POST", base+"/tasks", `{"ml":"CNN1","cores":2}`)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("ML admission = %d %s", resp.StatusCode, body)
 	}
 	// A second accelerated task must be rejected.
-	resp, _ = do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN2"}`)
-	if resp.StatusCode != http.StatusConflict {
+	if resp, _ := do(t, "POST", base+"/tasks", `{"ml":"CNN2"}`); resp.StatusCode != http.StatusConflict {
 		t.Errorf("second ML admission = %d, want conflict", resp.StatusCode)
 	}
 
 	// 2. Admit batch tasks.
 	for i := 0; i < 2; i++ {
-		resp, body = do(t, "POST", ts.URL+"/tasks", `{"kind":"Stitch"}`)
-		if resp.StatusCode != http.StatusCreated {
+		if resp, body = do(t, "POST", base+"/tasks", `{"kind":"Stitch"}`); resp.StatusCode != http.StatusCreated {
 			t.Fatalf("batch admission = %d %s", resp.StatusCode, body)
 		}
 	}
 
-	// 3. Advance the simulation.
-	resp, body = do(t, "POST", ts.URL+"/advance", `{"ms":1500}`)
-	if resp.StatusCode != 200 {
+	// 3. Advance the simulation synchronously.
+	resp, body = do(t, "POST", base+"/advance", `{"ms":1500,"wait":true}`)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"state":"done"`) {
 		t.Fatalf("advance = %d %s", resp.StatusCode, body)
 	}
 
 	// 4. Tasks report progress.
-	resp, body = do(t, "GET", ts.URL+"/tasks", "")
+	resp, body = do(t, "GET", base+"/tasks", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("tasks = %d", resp.StatusCode)
 	}
@@ -127,7 +209,7 @@ func TestFullLifecycleOverHTTP(t *testing.T) {
 	}
 
 	// 5. Metrics expose bandwidth and actuators.
-	resp, body = do(t, "GET", ts.URL+"/metrics", "")
+	resp, body = do(t, "GET", base+"/metrics", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("metrics = %d", resp.StatusCode)
 	}
@@ -141,58 +223,140 @@ func TestFullLifecycleOverHTTP(t *testing.T) {
 		}
 	}
 	// Scraping twice must not zero the series (Peek semantics).
-	_, body2 := do(t, "GET", ts.URL+"/metrics", "")
-	if !strings.Contains(body2, "kelp_socket_bandwidth_bytes{socket=\"0\"}") {
+	if _, body2 := do(t, "GET", base+"/metrics", ""); !strings.Contains(body2, "kelp_socket_bandwidth_bytes{socket=\"0\"}") {
 		t.Error("second scrape lost series")
+	}
+
+	// 6. Topology answers for this session.
+	resp, body = do(t, "GET", base+"/topology", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("topology = %d", resp.StatusCode)
+	}
+	var topo map[string]any
+	if err := json.Unmarshal([]byte(body), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo["sockets"].(float64) != 2 {
+		t.Errorf("topology = %v", topo)
 	}
 }
 
 func TestFSOverHTTP(t *testing.T) {
 	_, ts := newServer(t)
-	if resp, body := do(t, "POST", ts.URL+"/fs/cgroup/batch", ""); resp.StatusCode != http.StatusCreated {
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
+	if resp, body := do(t, "POST", base+"/fs/cgroup/batch", ""); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("mkdir = %d %s", resp.StatusCode, body)
 	}
-	if resp, _ := do(t, "PUT", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "0-3"); resp.StatusCode != 200 {
+	if resp, _ := do(t, "PUT", base+"/fs/cgroup/batch/cpuset.cpus", "0-3"); resp.StatusCode != 200 {
 		t.Fatal("cpuset write failed")
 	}
-	resp, body := do(t, "GET", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "")
+	resp, body := do(t, "GET", base+"/fs/cgroup/batch/cpuset.cpus", "")
 	if resp.StatusCode != 200 || strings.TrimSpace(body) != "0-3" {
 		t.Errorf("cpuset read = %d %q", resp.StatusCode, body)
 	}
 	// Directory listing.
-	resp, body = do(t, "GET", ts.URL+"/fs/cgroup", "")
+	resp, body = do(t, "GET", base+"/fs/cgroup", "")
 	if resp.StatusCode != 200 || !strings.Contains(body, "batch") {
 		t.Errorf("readdir = %d %q", resp.StatusCode, body)
 	}
 	// Bad writes are 400.
-	if resp, _ := do(t, "PUT", ts.URL+"/fs/cgroup/batch/cpuset.cpus", "zz"); resp.StatusCode != 400 {
+	if resp, _ := do(t, "PUT", base+"/fs/cgroup/batch/cpuset.cpus", "zz"); resp.StatusCode != 400 {
 		t.Errorf("bad cpuset write = %d", resp.StatusCode)
 	}
 	// Missing paths are 404.
-	if resp, _ := do(t, "GET", ts.URL+"/fs/cgroup/ghost/cpuset.cpus", ""); resp.StatusCode != 404 {
+	if resp, _ := do(t, "GET", base+"/fs/cgroup/ghost/cpuset.cpus", ""); resp.StatusCode != 404 {
 		t.Errorf("missing path = %d", resp.StatusCode)
 	}
-	if resp, _ := do(t, "DELETE", ts.URL+"/fs/cgroup/batch", ""); resp.StatusCode != 200 {
+	if resp, _ := do(t, "DELETE", base+"/fs/cgroup/batch", ""); resp.StatusCode != 200 {
 		t.Error("rmdir failed")
+	}
+	// The control surface of a missing session is 404.
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/ghost/fs/cgroup", ""); resp.StatusCode != 404 {
+		t.Error("fs on missing session not 404")
 	}
 }
 
 func TestAdvanceValidation(t *testing.T) {
 	_, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
 	for _, body := range []string{`{"ms":0}`, `{"ms":-5}`, `{"ms":999999}`, `{`} {
-		resp, _ := do(t, "POST", ts.URL+"/advance", body)
+		resp, _ := do(t, "POST", base+"/advance", body)
 		if resp.StatusCode != 400 {
 			t.Errorf("advance(%s) = %d, want 400", body, resp.StatusCode)
 		}
 	}
-	if resp, _ := do(t, "GET", ts.URL+"/advance", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+	if resp, _ := do(t, "GET", base+"/advance", ""); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Error("GET /advance allowed")
+	}
+	if resp, _ := do(t, "POST", ts.URL+"/sessions/ghost/advance", `{"ms":100}`); resp.StatusCode != 404 {
+		t.Error("advance on missing session not 404")
+	}
+}
+
+func TestAsyncAdvanceJobPolling(t *testing.T) {
+	_, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
+
+	resp, body := do(t, "POST", base+"/advance", `{"ms":200}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async advance = %d %s", resp.StatusCode, body)
+	}
+	var job struct {
+		ID   uint64 `json:"id"`
+		Poll string `json:"poll"`
+	}
+	if err := json.Unmarshal([]byte(body), &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Poll == "" {
+		t.Fatalf("no poll URL in %s", body)
+	}
+	// Poll until terminal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = do(t, "GET", ts.URL+job.Poll, "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("poll = %d %s", resp.StatusCode, body)
+		}
+		if strings.Contains(body, `"state":"done"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %s", body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var done struct {
+		NowSec float64 `json:"now_sec"`
+	}
+	if err := json.Unmarshal([]byte(body), &done); err != nil {
+		t.Fatal(err)
+	}
+	if diff := done.NowSec - 0.2; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("done job now_sec = %v, want ~0.2", done.NowSec)
+	}
+
+	// The jobs listing shows it.
+	resp, body = do(t, "GET", base+"/jobs", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"state":"done"`) {
+		t.Errorf("jobs list = %d %s", resp.StatusCode, body)
+	}
+	// Unknown job is 404, malformed id is 400.
+	if resp, _ := do(t, "GET", base+"/jobs/999", ""); resp.StatusCode != 404 {
+		t.Error("unknown job not 404")
+	}
+	if resp, _ := do(t, "GET", base+"/jobs/zzz", ""); resp.StatusCode != 400 {
+		t.Error("malformed job id not 400")
 	}
 }
 
 func TestBatchBeforeMLRejected(t *testing.T) {
 	_, ts := newServer(t)
-	resp, _ := do(t, "POST", ts.URL+"/tasks", `{"kind":"Stream","threads":4}`)
+	mkSession(t, ts.URL, "a")
+	resp, _ := do(t, "POST", ts.URL+"/sessions/a/tasks", `{"kind":"Stream","threads":4}`)
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("batch before ML = %d, want conflict", resp.StatusCode)
 	}
@@ -200,7 +364,9 @@ func TestBatchBeforeMLRejected(t *testing.T) {
 
 func TestBadTaskSpecs(t *testing.T) {
 	_, ts := newServer(t)
-	do(t, "POST", ts.URL+"/tasks", `{"ml":"CNN1"}`)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
+	do(t, "POST", base+"/tasks", `{"ml":"CNN1"}`)
 	cases := []string{
 		`{"ml":"GPT4"}`,
 		`{"kind":"Mystery"}`,
@@ -208,9 +374,28 @@ func TestBadTaskSpecs(t *testing.T) {
 		`not json`,
 	}
 	for _, c := range cases {
-		resp, _ := do(t, "POST", ts.URL+"/tasks", c)
+		resp, _ := do(t, "POST", base+"/tasks", c)
 		if resp.StatusCode != 400 && resp.StatusCode != http.StatusConflict {
 			t.Errorf("POST %s = %d, want 4xx", c, resp.StatusCode)
 		}
+	}
+}
+
+func TestHealthzSnapshot(t *testing.T) {
+	_, ts := newServer(t)
+	resp, body := do(t, "GET", ts.URL+"/healthz", "")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+	mkSession(t, ts.URL, "a")
+	_, body = do(t, "GET", ts.URL+"/healthz", "")
+	var h struct {
+		Sessions int `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sessions != 1 {
+		t.Errorf("healthz sessions = %d, want 1: %s", h.Sessions, body)
 	}
 }

@@ -1,0 +1,176 @@
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"kelp/internal/events"
+)
+
+// responseRecorder captures the status and byte count for access logging
+// and carries the once-per-request write-error latch used by writeJSON.
+type responseRecorder struct {
+	http.ResponseWriter
+	status        int
+	bytes         int64
+	wroteHeader   bool
+	writeErrorLog bool
+}
+
+func (rr *responseRecorder) WriteHeader(status int) {
+	if !rr.wroteHeader {
+		rr.status = status
+		rr.wroteHeader = true
+	}
+	rr.ResponseWriter.WriteHeader(status)
+}
+
+func (rr *responseRecorder) Write(p []byte) (int, error) {
+	if !rr.wroteHeader {
+		rr.WriteHeader(http.StatusOK)
+	}
+	n, err := rr.ResponseWriter.Write(p)
+	rr.bytes += int64(n)
+	return n, err
+}
+
+// noteWriteError reports whether this is the request's first write error;
+// writeJSON logs and counts only the first.
+func (rr *responseRecorder) noteWriteError() bool {
+	first := !rr.writeErrorLog
+	rr.writeErrorLog = true
+	return first
+}
+
+// logging wraps every request in a responseRecorder and, when AccessLog
+// is configured, emits one structured line per request.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rr := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := s.cfg.Clock()
+		next.ServeHTTP(rr, r)
+		if s.cfg.AccessLog != nil {
+			fmt.Fprintf(s.cfg.AccessLog,
+				"time=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f client=%s\n",
+				start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
+				rr.status, rr.bytes, s.cfg.Clock().Sub(start).Seconds()*1e3, clientKey(r))
+		}
+	})
+}
+
+// recovery converts a handler panic into a 500 plus a server.panic
+// flight-recorder event, so one poisoned request can't take the daemon
+// (and every other tenant's session) down with it.
+func (s *Server) recovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panicsTotal.Add(1)
+			s.emit(events.ServerPanic, map[string]any{
+				"path": r.URL.Path, "panic": fmt.Sprint(v),
+			})
+			if rr, ok := w.(*responseRecorder); !ok || !rr.wroteHeader {
+				s.writeErr(w, r, http.StatusInternalServerError,
+					fmt.Errorf("httpd: internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// rateLimitMW sheds requests whose client exceeds the token bucket.
+// /healthz is exempt: liveness probes must never be shed.
+func (s *Server) rateLimitMW(next http.Handler) http.Handler {
+	if s.limit == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if retry, ok := s.limit.allow(clientKey(r)); !ok {
+			s.shed(r, "ratelimit")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+			s.writeErr(w, r, http.StatusTooManyRequests,
+				fmt.Errorf("httpd: rate limit exceeded"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds (minimum 1), the
+// resolution the Retry-After header speaks.
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// timeoutMW attaches the per-request deadline. Handlers that wait (the
+// advance wait=true path) honor it; CPU-bound work is bounded separately
+// by the per-job timeout.
+func (s *Server) timeoutMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// maxBytesMW bounds every request body; oversized bodies fail the
+// handler's read with a descriptive error instead of buffering unbounded.
+func (s *Server) maxBytesMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies a client for rate limiting and logging: the
+// X-Kelp-Client header when present (load drivers and tests simulate
+// distinct clients with it), else the remote IP without the port.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Kelp-Client"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// decodeJSONBody decodes one JSON value, rejecting trailing garbage.
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpd: body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("httpd: body: trailing data")
+	}
+	return nil
+}
+
+// readBody reads a (MaxBytesReader-bounded) raw body.
+func readBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}

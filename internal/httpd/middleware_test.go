@@ -1,0 +1,210 @@
+package httpd
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kelp/internal/events"
+)
+
+func doAs(t *testing.T, client, method, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Kelp-Client", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b := make([]byte, 4096)
+	n, _ := resp.Body.Read(b)
+	return resp, string(b[:n])
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	clock := newFakeClock()
+	s, ts := newServerCfg(t, Config{RateLimit: 1, RateBurst: 2, Clock: clock.Now})
+
+	// The burst admits two requests, the third is shed.
+	for i := 0; i < 2; i++ {
+		if resp, _ := doAs(t, "alice", "GET", ts.URL+"/sessions", ""); resp.StatusCode != 200 {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	resp, _ := doAs(t, "alice", "GET", ts.URL+"/sessions", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if s.shedTotal.Load() != 1 {
+		t.Errorf("shed_total = %d", s.shedTotal.Load())
+	}
+	out, _ := getEvents(t, ts.URL+"/events?type=server.shed")
+	if len(out.Events) != 1 || out.Events[0].Fields["reason"] != "ratelimit" ||
+		out.Events[0].Fields["client"] != "alice" {
+		t.Errorf("shed event = %v", out.Events)
+	}
+
+	// Another client has its own bucket.
+	if resp, _ := doAs(t, "bob", "GET", ts.URL+"/sessions", ""); resp.StatusCode != 200 {
+		t.Error("bob shed by alice's bucket")
+	}
+	// /healthz is exempt even for a drained bucket.
+	if resp, _ := doAs(t, "alice", "GET", ts.URL+"/healthz", ""); resp.StatusCode != 200 {
+		t.Error("healthz rate limited")
+	}
+	// Tokens refill with the clock.
+	clock.Advance(time.Second)
+	if resp, _ := doAs(t, "alice", "GET", ts.URL+"/sessions", ""); resp.StatusCode != 200 {
+		t.Error("bucket did not refill after 1s")
+	}
+}
+
+func TestRateLimiterBucketBound(t *testing.T) {
+	clock := newFakeClock()
+	rl := newRateLimiter(100, 1, clock.Now)
+	for i := 0; i < maxBuckets+100; i++ {
+		rl.allow("client-" + strconv.Itoa(i))
+		clock.Advance(time.Millisecond)
+	}
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > maxBuckets+1 {
+		t.Errorf("bucket map grew to %d, bound is %d", n, maxBuckets)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.logging(s.recovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/sessions/x/advance", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", w.Code)
+	}
+	if s.panicsTotal.Load() != 1 {
+		t.Errorf("panics = %d", s.panicsTotal.Load())
+	}
+	evs := s.rec.SinceLimit(0, 0, events.ServerPanic)
+	if len(evs) != 1 || evs[0].Fields["panic"] != "kaboom" {
+		t.Fatalf("panic events = %v", evs)
+	}
+	if evs[0].Fields["path"] != "/sessions/x/advance" {
+		t.Errorf("panic path = %v", evs[0].Fields["path"])
+	}
+
+	// http.ErrAbortHandler passes through untouched.
+	defer func() {
+		if recover() == nil {
+			t.Error("ErrAbortHandler was swallowed")
+		}
+	}()
+	h2 := s.recovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	h2.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+// errWriter fails every write, simulating a client that hung up mid-body.
+type errWriter struct {
+	h http.Header
+}
+
+func (e *errWriter) Header() http.Header {
+	if e.h == nil {
+		e.h = make(http.Header)
+	}
+	return e.h
+}
+func (e *errWriter) WriteHeader(int)           {}
+func (e *errWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func TestWriteJSONErrorCountedOncePerRequest(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := httptest.NewRequest("GET", "/sessions", nil)
+	rr := &responseRecorder{ResponseWriter: &errWriter{}}
+
+	// Two failed writes on one request count once.
+	s.writeJSON(rr, r, 200, map[string]string{"a": "b"})
+	s.writeJSON(rr, r, 200, map[string]string{"c": "d"})
+	if got := s.writeErrors.Load(); got != 1 {
+		t.Fatalf("write_errors after one request = %d, want 1", got)
+	}
+	evs := s.rec.SinceLimit(0, 0, events.ServerWriteError)
+	if len(evs) != 1 || evs[0].Fields["path"] != "/sessions" {
+		t.Fatalf("write_error events = %v", evs)
+	}
+	if !strings.Contains(evs[0].Fields["error"].(string), "broken pipe") {
+		t.Errorf("event error = %v", evs[0].Fields["error"])
+	}
+
+	// A second request gets its own latch.
+	rr2 := &responseRecorder{ResponseWriter: &errWriter{}}
+	s.writeJSON(rr2, r, 200, map[string]string{"e": "f"})
+	if got := s.writeErrors.Load(); got != 2 {
+		t.Errorf("write_errors after two requests = %d, want 2", got)
+	}
+}
+
+func TestMaxBodyBytes(t *testing.T) {
+	_, ts := newServerCfg(t, Config{MaxBodyBytes: 64})
+	huge := `{"name":"a","faults":"` + strings.Repeat("x", 1024) + `"}`
+	resp, _ := do(t, "POST", ts.URL+"/sessions", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", resp.StatusCode)
+	}
+	// A small body on the same server still works.
+	mkSession(t, ts.URL, "a")
+}
+
+func TestAccessLogWritten(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newServerCfg(t, Config{AccessLog: &buf})
+	do(t, "GET", ts.URL+"/healthz", "")
+	log := buf.String()
+	if !strings.Contains(log, "method=GET") || !strings.Contains(log, "path=/healthz") ||
+		!strings.Contains(log, "status=200") {
+		t.Errorf("access log = %q", log)
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder: the access log is written
+// from server handler goroutines while the test reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,137 @@
+package httpd
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSessionPoolBounded(t *testing.T) {
+	s, ts := newServerCfg(t, Config{MaxSessions: 2})
+	mkSession(t, ts.URL, "a")
+	mkSession(t, ts.URL, "b")
+
+	resp, body := do(t, "POST", ts.URL+"/sessions", `{"name":"c"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create past capacity = %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	out, _ := getEvents(t, ts.URL+"/events?type=server.shed")
+	if len(out.Events) != 1 || out.Events[0].Fields["reason"] != "pool_full" {
+		t.Errorf("shed events = %v", out.Events)
+	}
+	if s.shedTotal.Load() != 1 {
+		t.Errorf("shed_total = %d", s.shedTotal.Load())
+	}
+
+	// Freeing a slot re-admits.
+	do(t, "DELETE", ts.URL+"/sessions/a", "")
+	if resp, _ := do(t, "POST", ts.URL+"/sessions", `{"name":"c"}`); resp.StatusCode != http.StatusCreated {
+		t.Errorf("create after free = %d", resp.StatusCode)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	clock := newFakeClock()
+	s, ts := newServerCfg(t, Config{SessionTTL: time.Minute, Clock: clock.Now})
+	mkSession(t, ts.URL, "fresh")
+	mkSession(t, ts.URL, "stale")
+
+	// Half a TTL later, touch only one session.
+	clock.Advance(30 * time.Second)
+	do(t, "GET", ts.URL+"/sessions/fresh", "")
+
+	clock.Advance(45 * time.Second)
+	evicted := s.EvictIdle()
+	if len(evicted) != 1 || evicted[0] != "stale" {
+		t.Fatalf("evicted = %v, want [stale]", evicted)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/stale", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("evicted session still resolves")
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/fresh", ""); resp.StatusCode != 200 {
+		t.Error("fresh session evicted")
+	}
+	out, _ := getEvents(t, ts.URL+"/events?type=session.destroy")
+	if len(out.Events) != 1 || out.Events[0].Fields["reason"] != "ttl" {
+		t.Errorf("destroy events = %v", out.Events)
+	}
+	if s.sessionsLive.Load() != 1 {
+		t.Errorf("sessionsLive = %d", s.sessionsLive.Load())
+	}
+
+	// Activity through a job also resets the idle clock.
+	do(t, "POST", ts.URL+"/sessions/fresh/advance", `{"ms":10,"wait":true}`)
+	clock.Advance(45 * time.Second)
+	if evicted := s.EvictIdle(); len(evicted) != 0 {
+		t.Errorf("advance did not refresh the TTL: evicted %v", evicted)
+	}
+}
+
+func TestAdvanceQueueBackpressure(t *testing.T) {
+	s, ts := newServerCfg(t, Config{QueueDepth: 1})
+	startFrozenAdvance(t, s, ts.URL, "busy") // job 1 is running, frozen
+	base := ts.URL + "/sessions/busy"
+
+	// Job 2 fills the depth-1 queue.
+	if resp, body := do(t, "POST", base+"/advance", `{"ms":100}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fill queue = %d %s", resp.StatusCode, body)
+	}
+	// Job 3 is shed.
+	resp, body := do(t, "POST", base+"/advance", `{"ms":100}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow = %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	out, _ := getEvents(t, ts.URL+"/events?type=server.shed")
+	if len(out.Events) != 1 || out.Events[0].Fields["reason"] != "queue_full" {
+		t.Errorf("shed events = %v", out.Events)
+	}
+	// The shed job was never assigned into the table.
+	if resp, _ := do(t, "GET", base+"/jobs/3", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("shed job got a table entry")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	_, ts := newServerCfg(t, Config{JobTimeout: time.Nanosecond})
+	mkSession(t, ts.URL, "a")
+	// 100 ms simulated = 1000 ticks, past the first 256-tick deadline check.
+	resp, body := do(t, "POST", ts.URL+"/sessions/a/advance", `{"ms":100,"wait":true}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("advance = %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"state":"timeout"`) || !strings.Contains(body, "exceeded") {
+		t.Errorf("timed-out job status = %s", body)
+	}
+	// The session survives and keeps serving.
+	if resp, _ := do(t, "GET", ts.URL+"/sessions/a", ""); resp.StatusCode != 200 {
+		t.Error("session dead after job timeout")
+	}
+}
+
+// Terminal job history is pruned; queued and running jobs never are.
+func TestJobTablePruned(t *testing.T) {
+	_, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	base := ts.URL + "/sessions/a"
+	for i := 0; i < keepTerminalJobs+20; i++ {
+		if resp, _ := do(t, "POST", base+"/advance", `{"ms":1,"wait":true}`); resp.StatusCode != 200 {
+			t.Fatal("advance failed")
+		}
+	}
+	// The oldest jobs are gone, the newest remain.
+	if resp, _ := do(t, "GET", base+"/jobs/1", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("job 1 not pruned")
+	}
+	lastID := keepTerminalJobs + 20
+	if resp, _ := do(t, "GET", base+"/jobs/"+strconv.Itoa(lastID), ""); resp.StatusCode != 200 {
+		t.Errorf("job %d pruned", lastID)
+	}
+}

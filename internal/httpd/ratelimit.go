@@ -1,0 +1,99 @@
+package httpd
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter. Each client key gets
+// a bucket of `burst` tokens refilled at `rate` tokens per second; a
+// request spends one token. The bucket map is bounded: when it grows past
+// maxBuckets, full buckets idle longer than a minute are dropped (they
+// rebuild at full, so dropping is lossless for well-behaved clients).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the limiter's memory under client-key churn.
+const maxBuckets = 8192
+
+func newRateLimiter(rate, burst float64, now func() time.Time) *rateLimiter {
+	return &rateLimiter{
+		rate: rate, burst: burst, now: now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for key. When the bucket is empty it reports
+// false plus how long until a token is available.
+func (l *rateLimiter) allow(key string) (retryAfter time.Duration, ok bool) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		if len(l.buckets) >= maxBuckets {
+			l.evictOldestLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += l.rate * now.Sub(b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return wait, false
+	}
+	b.tokens--
+	return 0, true
+}
+
+// pruneLocked drops buckets that have been idle long enough to be full
+// again. Caller holds mu.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	refill := time.Duration(l.burst / l.rate * float64(time.Second))
+	idle := refill
+	if idle < time.Minute {
+		idle = time.Minute
+	}
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// evictOldestLocked enforces the hard bound when idle pruning freed
+// nothing: the least-recently-seen bucket is dropped. The evicted client
+// rebuilds at full burst, a small grace traded for bounded memory under
+// adversarial key churn. Caller holds mu.
+func (l *rateLimiter) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			oldestKey, oldest, first = k, b.last, false
+		}
+	}
+	if !first {
+		delete(l.buckets, oldestKey)
+	}
+}

@@ -1,0 +1,614 @@
+package httpd
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kelp/internal/accel"
+	"kelp/internal/agent"
+	"kelp/internal/events"
+	"kelp/internal/experiments"
+	"kelp/internal/faults"
+	"kelp/internal/node"
+	"kelp/internal/policy"
+	"kelp/internal/profile"
+	"kelp/internal/resctrlfs"
+	"kelp/internal/scenario"
+	"kelp/internal/workload"
+)
+
+// Session is one named simulation in the pool: a managed node with its
+// own agent, flight recorder, fault injector, control-file surface, job
+// queue and worker. Sessions share nothing, so two sessions never
+// contend on a lock and every session replays deterministically.
+type Session struct {
+	name    string
+	policy  policy.Kind
+	created time.Time
+	srv     *Server
+
+	mu    sync.Mutex // guards agent, fs, seq — the simulation state
+	agent *agent.Agent
+	fs    *resctrlfs.FS
+	seq   int // batch-task naming sequence
+
+	jobs    chan *Job     // bounded FIFO advance queue
+	quit    chan struct{} // closed to stop the worker
+	dead    chan struct{} // closed when the worker has exited
+	cancel  atomic.Bool   // running/queued jobs stop at the next chunk
+	jobMu   sync.Mutex    // guards table, order, nextID
+	table   map[uint64]*Job
+	order   []uint64 // insertion order, for pruning terminal jobs
+	nextID  uint64
+	stopped atomic.Bool // shutdown ran (idempotence guard)
+
+	// Lock-free mirrors for /sessions listings and /healthz: updated by
+	// the worker and the admission handlers, read without any lock.
+	lastUsedNS atomic.Int64  // clock nanos of the last request or job
+	nowBits    atomic.Uint64 // math.Float64bits of the node's sim time
+	taskCount  atomic.Int64
+	degraded   atomic.Bool
+}
+
+// keepTerminalJobs bounds each session's completed-job history.
+const keepTerminalJobs = 64
+
+// validSessionName matches DNS-label-style names so session names always
+// embed cleanly in paths, metrics labels and file names.
+func validSessionName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// createSessionRequest is the POST /sessions body. Every field is
+// optional; zero values fall back to the server's configured defaults.
+type createSessionRequest struct {
+	Name          string `json:"name"`
+	Policy        string `json:"policy"`
+	Faults        string `json:"faults"`
+	EventCapacity int    `json:"event_capacity"`
+	Seed          int64  `json:"seed"`
+	// SamplePeriodSec overrides the controller's control period
+	// (default 0.1 s).
+	SamplePeriodSec float64 `json:"sample_period_sec"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.shed(r, "draining")
+		s.writeErr(w, r, http.StatusServiceUnavailable, fmt.Errorf("httpd: draining"))
+		return
+	}
+	var req createSessionRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name != "" && !validSessionName(req.Name) {
+		s.writeErr(w, r, http.StatusBadRequest,
+			fmt.Errorf("httpd: session name %q: want 1-64 chars of [a-zA-Z0-9._-]", req.Name))
+		return
+	}
+	polName := req.Policy
+	if polName == "" {
+		polName = s.cfg.DefaultPolicy
+	}
+	pol, err := scenario.ParsePolicy(polName)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	faultsSpec := req.Faults
+	if faultsSpec == "" {
+		faultsSpec = s.cfg.DefaultFaults
+	}
+	spec, err := faults.ParseSpec(faultsSpec)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.SamplePeriodSec < 0 || math.IsNaN(req.SamplePeriodSec) || math.IsInf(req.SamplePeriodSec, 0) {
+		s.writeErr(w, r, http.StatusBadRequest,
+			fmt.Errorf("httpd: sample_period_sec = %v", req.SamplePeriodSec))
+		return
+	}
+	capacity := req.EventCapacity
+	if capacity <= 0 {
+		capacity = s.cfg.EventCapacity
+	}
+	nodeCfg := node.DefaultConfig()
+	if req.Seed != 0 {
+		nodeCfg.Seed = req.Seed
+	}
+	profiles := profile.NewRegistry()
+	if s.cfg.Profile != nil {
+		if err := profiles.Put(*s.cfg.Profile); err != nil {
+			s.writeErr(w, r, http.StatusInternalServerError, err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.shed(r, "pool_full")
+		w.Header().Set("Retry-After", "1")
+		s.writeErr(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("httpd: session pool full (%d)", s.cfg.MaxSessions))
+		return
+	}
+	name := req.Name
+	if name == "" {
+		s.nameSeq++
+		name = fmt.Sprintf("s-%d", s.nameSeq)
+		for s.sessions[name] != nil {
+			s.nameSeq++
+			name = fmt.Sprintf("s-%d", s.nameSeq)
+		}
+	} else if s.sessions[name] != nil {
+		s.mu.Unlock()
+		s.writeErr(w, r, http.StatusConflict, fmt.Errorf("httpd: session %q exists", name))
+		return
+	}
+	// Reserve the name before the (comparatively slow) node build so two
+	// racing creates of the same name can't both pass the lookup.
+	s.sessions[name] = nil
+	s.mu.Unlock()
+
+	opts := policy.DefaultOptions()
+	if req.SamplePeriodSec > 0 {
+		opts.SamplePeriod = req.SamplePeriodSec
+	}
+	a, err := agent.New(agent.Config{
+		Node:          nodeCfg,
+		Policy:        pol,
+		Options:       opts,
+		Profiles:      profiles,
+		EventCapacity: capacity,
+		Faults:        spec,
+	})
+	var sess *Session
+	if err == nil {
+		sess, err = newSession(s, name, pol, a)
+	}
+	if err != nil {
+		s.mu.Lock()
+		delete(s.sessions, name)
+		s.mu.Unlock()
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.sessions[name] = sess
+	s.mu.Unlock()
+	s.sessionsLive.Add(1)
+	s.emit(events.SessionCreate, map[string]any{"session": name, "policy": pol.String()})
+	s.writeJSON(w, r, http.StatusCreated, sess.info(s.cfg.Clock()))
+}
+
+func newSession(s *Server, name string, pol policy.Kind, a *agent.Agent) (*Session, error) {
+	fs, err := resctrlfs.New(a.Node())
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		name:    name,
+		policy:  pol,
+		created: s.cfg.Clock(),
+		srv:     s,
+		agent:   a,
+		fs:      fs,
+		jobs:    make(chan *Job, s.cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		dead:    make(chan struct{}),
+		table:   make(map[uint64]*Job),
+	}
+	sess.touch(sess.created)
+	sess.storeNow()
+	go sess.worker(s)
+	return sess, nil
+}
+
+func (sess *Session) touch(now time.Time) { sess.lastUsedNS.Store(now.UnixNano()) }
+
+func (sess *Session) lastUsed() time.Time { return time.Unix(0, sess.lastUsedNS.Load()) }
+
+// storeNow mirrors the node's simulated clock into an atomic so listings
+// and job statuses read it without the simulation lock. Callers hold
+// sess.mu (or are the worker between jobs).
+func (sess *Session) storeNow() {
+	sess.nowBits.Store(math.Float64bits(sess.agent.Node().Now()))
+}
+
+func (sess *Session) simNow() float64 { return math.Float64frombits(sess.nowBits.Load()) }
+
+// syncDegraded reconciles the session's lock-free degraded mirror (and
+// the server-wide counter) with the control loop's actual state. Called
+// with sess.mu held.
+func (sess *Session) syncDegraded(s *Server) {
+	cur := sess.agent.Degraded()
+	if sess.degraded.CompareAndSwap(!cur, cur) {
+		if cur {
+			s.degradedSessions.Add(1)
+		} else {
+			s.degradedSessions.Add(-1)
+		}
+	}
+}
+
+// info renders the lock-free status listing entry.
+func (sess *Session) info(now time.Time) map[string]any {
+	return map[string]any{
+		"name":        sess.name,
+		"policy":      sess.policy.String(),
+		"now_sec":     sess.simNow(),
+		"tasks":       sess.taskCount.Load(),
+		"jobs_queued": len(sess.jobs),
+		"degraded":    sess.degraded.Load(),
+		"idle_sec":    now.Sub(sess.lastUsed()).Seconds(),
+	}
+}
+
+// shutdown cancels outstanding work, stops the worker, flushes the
+// flight recorder, and releases the session's health counters. The
+// session must already be out of the pool map. Idempotent.
+func (sess *Session) shutdown(reason string) {
+	s := sess.srv
+	if !sess.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	sess.cancel.Store(true)
+	close(sess.quit)
+	<-sess.dead
+	canceled := 0
+	sess.jobMu.Lock()
+	for _, id := range sess.order {
+		if j := sess.table[id]; j != nil && !j.terminal() {
+			j.finish(jobCanceled, 0, nil)
+			canceled++
+		}
+	}
+	sess.jobMu.Unlock()
+	if canceled > 0 {
+		s.jobsQueued.Add(int64(-canceled))
+		s.jobsDone.Add(uint64(canceled))
+	}
+	if sess.degraded.Load() {
+		s.degradedSessions.Add(-1)
+	}
+	s.sessionsLive.Add(-1)
+	if s.cfg.EventsDir != "" {
+		sess.flushEvents(s.cfg.EventsDir)
+	}
+	s.emit(events.SessionDestroy, map[string]any{
+		"session": sess.name, "reason": reason, "jobs_canceled": canceled,
+	})
+}
+
+// flushEvents writes the session's recorder to <dir>/<name>.jsonl.
+func (sess *Session) flushEvents(dir string) {
+	sess.mu.Lock()
+	evs := sess.agent.Events().Events()
+	sess.mu.Unlock()
+	f, err := os.Create(filepath.Join(dir, sess.name+".jsonl"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = events.WriteJSONL(f, evs)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.Clock()
+	s.mu.RLock()
+	out := make([]map[string]any, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		if sess != nil {
+			out = append(out, sess.info(now))
+		}
+	}
+	s.mu.RUnlock()
+	sortSessionInfos(out)
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"sessions": out, "count": len(out), "capacity": s.cfg.MaxSessions,
+	})
+}
+
+func sortSessionInfos(infos []map[string]any) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j]["name"].(string) < infos[j-1]["name"].(string); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+func (s *Server) handleDestroySession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sess := s.sessions[name]
+	if sess != nil {
+		delete(s.sessions, name)
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("httpd: no session %q", name))
+		return
+	}
+	sess.shutdown("api")
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"destroyed": name})
+}
+
+func handleSessionInfo(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, sess.info(s.cfg.Clock()))
+}
+
+func handleTopology(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	n := sess.agent.Node()
+	topo := n.Processor().Topology()
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"sockets":               topo.Sockets,
+		"cores_per_socket":      topo.CoresPerSocket,
+		"subdomains_per_socket": topo.SubdomainsPerSocket,
+		"snc_enabled":           n.Memory().Config().SNCEnabled,
+		"now_sec":               n.Now(),
+	})
+}
+
+// admitRequest is the POST /sessions/{name}/tasks body: either an
+// accelerated task ({"ml": "CNN1", "cores": 2}) or a batch task
+// (scenario.TaskSpec fields).
+type admitRequest struct {
+	ML    string `json:"ml,omitempty"`
+	Cores int    `json:"cores,omitempty"`
+	scenario.TaskSpec
+}
+
+func handleTasksGet(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	sess.mu.Lock()
+	n := sess.agent.Node()
+	type taskInfo struct {
+		Name       string  `json:"name"`
+		Throughput float64 `json:"throughput"`
+	}
+	out := []taskInfo{}
+	for _, t := range n.Tasks() {
+		out = append(out, taskInfo{Name: t.Name(), Throughput: t.Throughput(n.Now())})
+	}
+	sess.mu.Unlock()
+	s.writeJSON(w, r, http.StatusOK, out)
+}
+
+func handleTasksPost(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	var req admitRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if req.ML != "" {
+		ml, err := scenario.ParseML(req.ML)
+		if err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		cores := req.Cores
+		if cores == 0 {
+			cores = ml.MLCores()
+		}
+		task, err := buildMLTask(sess.agent, ml, cores)
+		if err != nil {
+			s.writeErr(w, r, http.StatusConflict, err)
+			return
+		}
+		sess.taskCount.Add(1)
+		sess.syncDegraded(s)
+		s.writeJSON(w, r, http.StatusCreated, map[string]string{"admitted": task})
+		return
+	}
+	spec := scenario.Spec{ML: "CNN1", Policy: "BL", CPU: []scenario.TaskSpec{req.TaskSpec}}
+	resolved, err := spec.Resolve()
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	sess.seq++
+	task, err := experiments.NewCPUTask(resolved.CPU[0], sess.seq,
+		sess.agent.Node().Config().Memory.LLCSize)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.agent.AdmitBatch(task); err != nil {
+		s.writeErr(w, r, http.StatusConflict, err)
+		return
+	}
+	sess.taskCount.Add(1)
+	s.writeJSON(w, r, http.StatusCreated, map[string]string{"admitted": task.Name()})
+}
+
+// buildMLTask constructs and admits the accelerated task via the agent.
+func buildMLTask(a *agent.Agent, ml experiments.MLKind, cores int) (string, error) {
+	task, err := newMLWorkload(a, ml)
+	if err != nil {
+		return "", err
+	}
+	if err := a.AdmitML(task, cores); err != nil {
+		return "", err
+	}
+	return task.Name(), nil
+}
+
+// newMLWorkload constructs (without registering) the accelerated task.
+func newMLWorkload(a *agent.Agent, ml experiments.MLKind) (workload.Task, error) {
+	switch ml {
+	case experiments.RNN1:
+		dev, err := accel.NewDevice(ml.Platform())
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewRNN1(dev, a.Node().Engine().RNG().Stream("rnn1"))
+	case experiments.CNN1:
+		return workload.NewCNN1(ml.Platform())
+	case experiments.CNN2:
+		return workload.NewCNN2(ml.Platform())
+	case experiments.CNN3:
+		return workload.NewCNN3(ml.Platform())
+	}
+	return nil, fmt.Errorf("httpd: unknown ML kind %v", ml)
+}
+
+func handleMetrics(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	n := sess.agent.Node()
+	// Peek: scraping must not consume the Kelp runtime's counter window.
+	sample := n.Monitor().Peek()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP kelp_socket_bandwidth_bytes Socket DRAM bandwidth, bytes/s.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_bandwidth_bytes gauge\n")
+	for sock := range sample.SocketBW {
+		fmt.Fprintf(w, "kelp_socket_bandwidth_bytes{socket=\"%d\"} %.0f\n", sock, sample.SocketBW[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_socket_latency_seconds Loaded memory latency.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_latency_seconds gauge\n")
+	for sock := range sample.SocketLatency {
+		fmt.Fprintf(w, "kelp_socket_latency_seconds{socket=\"%d\"} %.3e\n", sock, sample.SocketLatency[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_socket_saturation Distress signal duty cycle.\n")
+	fmt.Fprintf(w, "# TYPE kelp_socket_saturation gauge\n")
+	for sock := range sample.SocketSaturation {
+		fmt.Fprintf(w, "kelp_socket_saturation{socket=\"%d\"} %.4f\n", sock, sample.SocketSaturation[sock])
+	}
+	fmt.Fprintf(w, "# HELP kelp_task_throughput Task work rate, units/s.\n")
+	fmt.Fprintf(w, "# TYPE kelp_task_throughput gauge\n")
+	for _, t := range n.Tasks() {
+		fmt.Fprintf(w, "kelp_task_throughput{task=%q} %.3f\n", t.Name(), t.Throughput(n.Now()))
+	}
+	if a := sess.agent.Applied(); a != nil && a.Runtime != nil {
+		fmt.Fprintf(w, "# HELP kelp_runtime_actuator Kelp actuator values.\n")
+		fmt.Fprintf(w, "# TYPE kelp_runtime_actuator gauge\n")
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_cores\"} %d\n", a.Runtime.LowCores())
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
+		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
+	}
+}
+
+func handleEvents(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	serveEvents(s, sess.agent.Events(), w, r)
+}
+
+// serveEvents renders any recorder with cursor semantics. Query params:
+//
+//	since=N   only events with seq > N (cursor; default 0 = everything buffered)
+//	type=T    repeatable event-type filter
+//	limit=K   cap the response to the first K matching events
+//
+// The response carries next_since, the seq of the last event returned (or
+// the request's since when nothing matched), so clients poll
+// incrementally. The recorder is internally locked; no session or pool
+// lock is taken here.
+func serveEvents(s *Server, rec *events.Recorder, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("since: %w", err))
+			return
+		}
+		since = n
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("limit = %q, want a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	var types []events.Type
+	for _, v := range q["type"] {
+		types = append(types, events.Type(v))
+	}
+	evs := rec.SinceLimit(since, limit, types...)
+	dropped := rec.Dropped()
+	next := since
+	if len(evs) > 0 {
+		next = evs[len(evs)-1].Seq
+	}
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"events":     evs,
+		"next_since": next,
+		"dropped":    dropped,
+	})
+}
+
+func handleFS(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	path := "/" + strings.TrimSuffix(r.PathValue("path"), "/")
+	switch r.Method {
+	case http.MethodGet:
+		// Try as a file, fall back to directory listing.
+		if data, err := sess.fs.ReadFile(path); err == nil {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintln(w, data)
+			return
+		}
+		entries, err := sess.fs.ReadDir(path)
+		if err != nil {
+			s.writeErr(w, r, http.StatusNotFound, err)
+			return
+		}
+		s.writeJSON(w, r, http.StatusOK, entries)
+	case http.MethodPut:
+		body, err := readBody(r)
+		if err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		if err := sess.fs.WriteFile(path, string(body)); err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, r, http.StatusOK, map[string]string{"written": path})
+	case http.MethodPost:
+		if err := sess.fs.Mkdir(path); err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, r, http.StatusCreated, map[string]string{"created": path})
+	case http.MethodDelete:
+		if err := sess.fs.Rmdir(path); err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, r, http.StatusOK, map[string]string{"removed": path})
+	default:
+		s.writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/fleet"
+	"kelp/internal/httpd"
 	"kelp/internal/node"
 	"kelp/internal/policy"
 	"kelp/internal/profile"
@@ -312,3 +313,17 @@ type ControlFS = resctrlfs.FS
 
 // NewControlFS binds a control file tree to a node.
 func NewControlFS(n *Node) (*ControlFS, error) { return resctrlfs.New(n) }
+
+// SessionServer is kelpd's multi-tenant HTTP front: a bounded pool of
+// named simulation sessions (each its own managed node, flight recorder
+// and fault injector) with per-session async advance queues, token-bucket
+// rate limiting, panic recovery, TTL idle eviction and graceful drain.
+// Mount Handler() on an http.Server; see docs/KELPD.md.
+type SessionServer = httpd.Server
+
+// SessionServerConfig parameterizes a SessionServer. The zero value is
+// usable: every field has a documented default.
+type SessionServerConfig = httpd.Config
+
+// NewSessionServer builds the multi-tenant session server behind kelpd.
+func NewSessionServer(cfg SessionServerConfig) (*SessionServer, error) { return httpd.New(cfg) }

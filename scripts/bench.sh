@@ -42,10 +42,11 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 # Hot-path microbenchmarks: the allocation-free simulation step, the
-# zero-cost disabled instrumentation path, and the fleet composition tick
-# (placement + per-job cluster replay over pre-measured shapes).
-MICRO_PKGS="./internal/memsys ./internal/node ./internal/sim ./internal/events ./internal/fleet"
-MICRO_BENCH='BenchmarkResolve|BenchmarkNodeStep|BenchmarkEngineTick|BenchmarkEmit|BenchmarkFleetTick'
+# zero-cost disabled instrumentation path, the fleet composition tick
+# (placement + per-job cluster replay over pre-measured shapes), and the
+# session server's advance round trip and middleware tax.
+MICRO_PKGS="./internal/memsys ./internal/node ./internal/sim ./internal/events ./internal/fleet ./internal/httpd"
+MICRO_BENCH='BenchmarkResolve|BenchmarkNodeStep|BenchmarkEngineTick|BenchmarkEmit|BenchmarkFleetTick|BenchmarkSessionAdvance|BenchmarkMiddlewareOverhead'
 
 case "$MODE" in
 quick)

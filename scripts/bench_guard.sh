@@ -6,7 +6,9 @@
 # BenchmarkEngineTick (simulation dispatch) — the two numbers every
 # experiment cell multiplies by millions of ticks — plus BenchmarkFleetTick
 # (fleet placement + goodput composition, the O(machines) outer loop of the
-# fleet study). The fresh measurement is
+# fleet study), plus the session server's BenchmarkSessionAdvance and
+# BenchmarkMiddlewareOverhead (the kelpd request hot path). The fresh
+# measurement is
 # the minimum of -count runs; the gate is cmd/benchguard, which needs no
 # installs. benchstat, when already on PATH, additionally prints its
 # statistical comparison (report only — the gate stays deterministic).
@@ -32,6 +34,7 @@ trap 'rm -f "$RAW" "$OLD"' EXIT
 go test -run='^$' -bench='^BenchmarkResolveSteady$' -count=5 ./internal/memsys | tee "$RAW"
 go test -run='^$' -bench='^BenchmarkEngineTick$' -count=5 ./internal/sim | tee -a "$RAW"
 go test -run='^$' -bench='^BenchmarkFleetTick$' -count=5 ./internal/fleet | tee -a "$RAW"
+go test -run='^$' -bench='^(BenchmarkSessionAdvance|BenchmarkMiddlewareOverhead)$' -count=5 ./internal/httpd | tee -a "$RAW"
 
 if command -v benchstat >/dev/null 2>&1; then
 	go run ./cmd/benchguard -baseline "$BASE" -emit-baseline "$OLD"

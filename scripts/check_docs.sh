@@ -47,7 +47,7 @@ done
 
 # --- 3. runnable examples ----------------------------------------------------
 # pkg-dir:ExampleName pairs that the docs reference as runnable sessions.
-examples="internal/fleet:ExampleRun internal/pool:ExampleCollect"
+examples="internal/fleet:ExampleRun internal/pool:ExampleCollect internal/httpd:ExampleServer_sessions"
 for pair in $examples; do
     dir=${pair%%:*}
     name=${pair##*:}
