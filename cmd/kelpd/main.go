@@ -8,7 +8,8 @@
 //	kelpd [-addr :8080] [-policy KP] [-profile prof.json] [-faults spec]
 //	      [-max-sessions 1024] [-session-ttl 15m] [-queue-depth 32]
 //	      [-job-timeout 30s] [-request-timeout 10s] [-rate 0] [-burst 0]
-//	      [-max-body 1048576] [-events out.jsonl] [-events-dir dir] [-quiet]
+//	      [-trust-client-header] [-max-body 1048576] [-events out.jsonl]
+//	      [-events-dir dir] [-quiet]
 //
 // Example session:
 //
@@ -68,6 +69,8 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	rate := flag.Float64("rate", 0, "per-client rate limit in requests/s (0 disables)")
 	burst := flag.Int("burst", 0, "rate-limit burst (0 selects 2x rate)")
+	trustClient := flag.Bool("trust-client-header", false,
+		"key rate limiting by the X-Kelp-Client header instead of the remote IP (trusted peers only)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	eventsPath := flag.String("events", "", "flush the server control-plane events as JSONL to this file on shutdown")
 	eventsDir := flag.String("events-dir", "", "flush each session's flight recorder as <name>.jsonl into this directory on destroy/drain")
@@ -78,7 +81,7 @@ func main() {
 		addr: *addr, policy: *polFlag, profilePath: *profilePath,
 		faults: *faultsFlag, maxSessions: *maxSessions, sessionTTL: *sessionTTL,
 		queueDepth: *queueDepth, jobTimeout: *jobTimeout, reqTimeout: *reqTimeout,
-		rate: *rate, burst: *burst, maxBody: *maxBody,
+		rate: *rate, burst: *burst, trustClient: *trustClient, maxBody: *maxBody,
 		eventsPath: *eventsPath, eventsDir: *eventsDir, quiet: *quiet,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "kelpd:", err)
@@ -94,7 +97,7 @@ type config struct {
 	burst                              int
 	maxBody                            int64
 	eventsPath, eventsDir              string
-	quiet                              bool
+	quiet, trustClient                 bool
 }
 
 func run(c config) error {
@@ -105,17 +108,18 @@ func run(c config) error {
 		return err
 	}
 	cfg := httpd.Config{
-		MaxSessions:    c.maxSessions,
-		SessionTTL:     c.sessionTTL,
-		QueueDepth:     c.queueDepth,
-		JobTimeout:     c.jobTimeout,
-		RequestTimeout: c.reqTimeout,
-		MaxBodyBytes:   c.maxBody,
-		RateLimit:      c.rate,
-		RateBurst:      c.burst,
-		DefaultPolicy:  c.policy,
-		DefaultFaults:  c.faults,
-		EventsDir:      c.eventsDir,
+		MaxSessions:       c.maxSessions,
+		SessionTTL:        c.sessionTTL,
+		QueueDepth:        c.queueDepth,
+		JobTimeout:        c.jobTimeout,
+		RequestTimeout:    c.reqTimeout,
+		MaxBodyBytes:      c.maxBody,
+		RateLimit:         c.rate,
+		RateBurst:         c.burst,
+		TrustClientHeader: c.trustClient,
+		DefaultPolicy:     c.policy,
+		DefaultFaults:     c.faults,
+		EventsDir:         c.eventsDir,
 	}
 	if !c.quiet {
 		cfg.AccessLog = os.Stderr

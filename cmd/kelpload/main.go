@@ -107,6 +107,9 @@ func run(c *cfg, out io.Writer) error {
 			RateLimit:     c.rate,
 			DefaultPolicy: c.policy,
 			SessionTTL:    -1, // the driver controls every session's lifetime
+			// The driver is the only peer; honor its per-session
+			// X-Kelp-Client tags as rate-limit identities.
+			TrustClientHeader: true,
 		})
 		if err != nil {
 			return err

@@ -82,9 +82,15 @@ type Config struct {
 	MaxBodyBytes int64
 	// RateLimit is the per-client token-bucket refill rate in requests
 	// per second; 0 disables rate limiting. Clients are keyed by the
-	// X-Kelp-Client header when present, else the remote IP. /healthz is
-	// exempt.
+	// remote IP (see TrustClientHeader). /healthz is exempt.
 	RateLimit float64
+	// TrustClientHeader keys rate limiting and logging by the
+	// X-Kelp-Client header when present instead of the remote IP. Enable
+	// only when all peers are trusted (load drivers, tests, a fronting
+	// proxy that sets the header itself): an untrusted client that picks
+	// its own key can dodge its bucket and churn others out of the
+	// bounded bucket table.
+	TrustClientHeader bool
 	// RateBurst is the bucket capacity; 0 selects 2×RateLimit (min 1).
 	RateBurst int
 	// EventCapacity sizes each session's flight-recorder ring when the
@@ -219,7 +225,7 @@ func (s *Server) emit(t events.Type, fields map[string]any) {
 func (s *Server) shed(r *http.Request, reason string) {
 	s.shedTotal.Add(1)
 	s.emit(events.ServerShed, map[string]any{
-		"path": r.URL.Path, "reason": reason, "client": clientKey(r),
+		"path": r.URL.Path, "reason": reason, "client": s.clientKey(r),
 	})
 }
 

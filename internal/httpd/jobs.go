@@ -115,15 +115,27 @@ func handleAdvance(s *Server, sess *Session, w http.ResponseWriter, r *http.Requ
 
 	j := &Job{MS: req.MS, done: make(chan struct{})}
 	sess.jobMu.Lock()
+	// Checked under jobMu so it orders against shutdown's job sweep (also
+	// under jobMu, after stopped is set): a session resolved just before
+	// destroy/TTL eviction must not accept a job the dead worker will
+	// never run.
+	if sess.stopped.Load() {
+		sess.jobMu.Unlock()
+		s.writeErr(w, r, http.StatusConflict,
+			fmt.Errorf("httpd: session %q shutting down", sess.name))
+		return
+	}
 	sess.nextID++
 	j.ID = sess.nextID
 	// Reserve the table slot before the enqueue attempt so a full queue
-	// costs nothing persistent.
+	// costs nothing persistent. jobsQueued is bumped inside the critical
+	// section so shutdown's sweep never decrements a job it can't see.
 	select {
 	case sess.jobs <- j:
 		sess.table[j.ID] = j
 		sess.order = append(sess.order, j.ID)
 		sess.pruneJobsLocked()
+		s.jobsQueued.Add(1)
 		sess.jobMu.Unlock()
 	default:
 		sess.nextID--
@@ -134,7 +146,6 @@ func handleAdvance(s *Server, sess *Session, w http.ResponseWriter, r *http.Requ
 			fmt.Errorf("httpd: session %q advance queue full (%d)", sess.name, cap(sess.jobs)))
 		return
 	}
-	s.jobsQueued.Add(1)
 
 	if req.Wait {
 		select {

@@ -59,7 +59,7 @@ func (s *Server) logging(next http.Handler) http.Handler {
 			fmt.Fprintf(s.cfg.AccessLog,
 				"time=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f client=%s\n",
 				start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
-				rr.status, rr.bytes, s.cfg.Clock().Sub(start).Seconds()*1e3, clientKey(r))
+				rr.status, rr.bytes, s.cfg.Clock().Sub(start).Seconds()*1e3, s.clientKey(r))
 		}
 	})
 }
@@ -101,7 +101,7 @@ func (s *Server) rateLimitMW(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		if retry, ok := s.limit.allow(clientKey(r)); !ok {
+		if retry, ok := s.limit.allow(s.clientKey(r)); !ok {
 			s.shed(r, "ratelimit")
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
 			s.writeErr(w, r, http.StatusTooManyRequests,
@@ -145,11 +145,17 @@ func (s *Server) maxBytesMW(next http.Handler) http.Handler {
 }
 
 // clientKey identifies a client for rate limiting and logging: the
-// X-Kelp-Client header when present (load drivers and tests simulate
-// distinct clients with it), else the remote IP without the port.
-func clientKey(r *http.Request) string {
-	if k := r.Header.Get("X-Kelp-Client"); k != "" {
-		return k
+// remote IP without the port. Only when TrustClientHeader is set (load
+// drivers and tests simulate distinct clients) does a present
+// X-Kelp-Client header override it — honoring a client-supplied header
+// from untrusted peers would let anyone dodge its bucket (and churn
+// legitimate clients out of the bounded bucket table) by randomizing
+// the header per request.
+func (s *Server) clientKey(r *http.Request) string {
+	if s.cfg.TrustClientHeader {
+		if k := r.Header.Get("X-Kelp-Client"); k != "" {
+			return k
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {

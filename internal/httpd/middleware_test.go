@@ -32,7 +32,9 @@ func doAs(t *testing.T, client, method, url, body string) (*http.Response, strin
 
 func TestRateLimitPerClient(t *testing.T) {
 	clock := newFakeClock()
-	s, ts := newServerCfg(t, Config{RateLimit: 1, RateBurst: 2, Clock: clock.Now})
+	s, ts := newServerCfg(t, Config{
+		RateLimit: 1, RateBurst: 2, TrustClientHeader: true, Clock: clock.Now,
+	})
 
 	// The burst admits two requests, the third is shed.
 	for i := 0; i < 2; i++ {

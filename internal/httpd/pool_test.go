@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
@@ -133,5 +134,84 @@ func TestJobTablePruned(t *testing.T) {
 	lastID := keepTerminalJobs + 20
 	if resp, _ := do(t, "GET", base+"/jobs/"+strconv.Itoa(lastID), ""); resp.StatusCode != 200 {
 		t.Errorf("job %d pruned", lastID)
+	}
+}
+
+// A name reserved by an in-flight create (nil map value) must count as
+// taken for both explicit names and the auto-name sequence — the
+// regression here was `!= nil` checks that let two racing creates of the
+// same name both pass and clobber each other.
+func TestCreateSeesReservedNames(t *testing.T) {
+	s, ts := newServer(t)
+	s.mu.Lock()
+	s.sessions["held"] = nil // an in-flight create owns this name
+	s.sessions["s-1"] = nil  // and the first auto-name
+	s.mu.Unlock()
+
+	if resp, body := do(t, "POST", ts.URL+"/sessions", `{"name":"held"}`); resp.StatusCode != http.StatusConflict {
+		t.Errorf("create over reservation = %d %s, want 409", resp.StatusCode, body)
+	}
+	resp, body := do(t, "POST", ts.URL+"/sessions", `{}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("auto-named create = %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"name":"s-2"`) {
+		t.Errorf("auto-name reused a reserved slot: %s", body)
+	}
+
+	s.mu.Lock()
+	delete(s.sessions, "held")
+	delete(s.sessions, "s-1")
+	s.mu.Unlock()
+}
+
+// A handler that resolved its session just before destroy must not be
+// able to enqueue a job the dead worker will never run.
+func TestAdvanceAfterShutdownRejected(t *testing.T) {
+	s, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	s.mu.RLock()
+	sess := s.sessions["a"]
+	s.mu.RUnlock()
+	if resp, _ := do(t, "DELETE", ts.URL+"/sessions/a", ""); resp.StatusCode != 200 {
+		t.Fatal("destroy failed")
+	}
+
+	// Replay the race: the handler still holds the session pointer.
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/sessions/a/advance", strings.NewReader(`{"ms":10}`))
+	handleAdvance(s, sess, w, r)
+	if w.Code != http.StatusConflict {
+		t.Errorf("advance on destroyed session = %d, want 409", w.Code)
+	}
+	if got := s.jobsQueued.Load(); got != 0 {
+		t.Errorf("jobsQueued = %d after rejected post-shutdown advance, want 0", got)
+	}
+}
+
+// shutdown releases a degraded session's contribution to the server-wide
+// gauge exactly once, and late syncDegraded calls can't re-add it.
+func TestShutdownDegradedGaugeExactlyOnce(t *testing.T) {
+	s, ts := newServer(t)
+	mkSession(t, ts.URL, "a")
+	s.mu.RLock()
+	sess := s.sessions["a"]
+	s.mu.RUnlock()
+	sess.degraded.Store(true)
+	s.degradedSessions.Add(1)
+
+	if resp, _ := do(t, "DELETE", ts.URL+"/sessions/a", ""); resp.StatusCode != 200 {
+		t.Fatal("destroy failed")
+	}
+	if got := s.degradedSessions.Load(); got != 0 {
+		t.Fatalf("degradedSessions after destroy = %d, want 0", got)
+	}
+	// A straggling handler reconciling after shutdown is a no-op.
+	sess.mu.Lock()
+	sess.syncDegraded(s)
+	sess.mu.Unlock()
+	sess.shutdown("api") // idempotent second shutdown
+	if got := s.degradedSessions.Load(); got != 0 {
+		t.Errorf("degradedSessions after late sync + double shutdown = %d, want 0", got)
 	}
 }

@@ -154,15 +154,18 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("httpd: session pool full (%d)", s.cfg.MaxSessions))
 		return
 	}
+	// Existence checks use the comma-ok form throughout: a nil map value is
+	// a name reserved by an in-flight create and must count as taken.
 	name := req.Name
 	if name == "" {
-		s.nameSeq++
-		name = fmt.Sprintf("s-%d", s.nameSeq)
-		for s.sessions[name] != nil {
+		for {
 			s.nameSeq++
 			name = fmt.Sprintf("s-%d", s.nameSeq)
+			if _, taken := s.sessions[name]; !taken {
+				break
+			}
 		}
-	} else if s.sessions[name] != nil {
+	} else if _, taken := s.sessions[name]; taken {
 		s.mu.Unlock()
 		s.writeErr(w, r, http.StatusConflict, fmt.Errorf("httpd: session %q exists", name))
 		return
@@ -190,15 +193,30 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.mu.Lock()
-		delete(s.sessions, name)
+		// Only release our own placeholder: if the reservation is gone
+		// (Drain replaced the map), there is nothing of ours to remove.
+		if cur, reserved := s.sessions[name]; reserved && cur == nil {
+			delete(s.sessions, name)
+		}
 		s.mu.Unlock()
 		s.writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
-	s.sessions[name] = sess
+	_, reserved := s.sessions[name]
+	if reserved {
+		s.sessions[name] = sess
+	}
 	s.mu.Unlock()
 	s.sessionsLive.Add(1)
+	if !reserved {
+		// Drain swept the reservation while the node was being built; don't
+		// resurrect a session past drain — tear it down and shed.
+		sess.shutdown("drain")
+		s.shed(r, "draining")
+		s.writeErr(w, r, http.StatusServiceUnavailable, fmt.Errorf("httpd: draining"))
+		return
+	}
 	s.emit(events.SessionCreate, map[string]any{"session": name, "policy": pol.String()})
 	s.writeJSON(w, r, http.StatusCreated, sess.info(s.cfg.Clock()))
 }
@@ -241,8 +259,14 @@ func (sess *Session) simNow() float64 { return math.Float64frombits(sess.nowBits
 
 // syncDegraded reconciles the session's lock-free degraded mirror (and
 // the server-wide counter) with the control loop's actual state. Called
-// with sess.mu held.
+// with sess.mu held. Once shutdown has run it is a no-op: shutdown
+// releases the session's contribution to the server-wide gauge under
+// sess.mu, so a straggling handler that still holds the session pointer
+// must not re-increment it.
 func (sess *Session) syncDegraded(s *Server) {
+	if sess.stopped.Load() {
+		return
+	}
 	cur := sess.agent.Degraded()
 	if sess.degraded.CompareAndSwap(!cur, cur) {
 		if cur {
@@ -277,6 +301,10 @@ func (sess *Session) shutdown(reason string) {
 	sess.cancel.Store(true)
 	close(sess.quit)
 	<-sess.dead
+	// The worker is dead and handleAdvance rejects once stopped is set (it
+	// checks under jobMu), so this sweep sees every job that will ever be
+	// enqueued; the channel is drained so queued Jobs don't outlive the
+	// session.
 	canceled := 0
 	sess.jobMu.Lock()
 	for _, id := range sess.order {
@@ -285,14 +313,27 @@ func (sess *Session) shutdown(reason string) {
 			canceled++
 		}
 	}
+drain:
+	for {
+		select {
+		case <-sess.jobs:
+		default:
+			break drain
+		}
+	}
 	sess.jobMu.Unlock()
 	if canceled > 0 {
 		s.jobsQueued.Add(int64(-canceled))
 		s.jobsDone.Add(uint64(canceled))
 	}
-	if sess.degraded.Load() {
+	// CAS under sess.mu so this and a straggling handler's syncDegraded
+	// can't double-count: any flip that passed the stopped check completes
+	// before the reset, and later calls see stopped and no-op.
+	sess.mu.Lock()
+	if sess.degraded.CompareAndSwap(true, false) {
 		s.degradedSessions.Add(-1)
 	}
+	sess.mu.Unlock()
 	s.sessionsLive.Add(-1)
 	if s.cfg.EventsDir != "" {
 		sess.flushEvents(s.cfg.EventsDir)
