@@ -9,7 +9,7 @@
 //	      [-max-sessions 1024] [-session-ttl 15m] [-queue-depth 32]
 //	      [-job-timeout 30s] [-request-timeout 10s] [-rate 0] [-burst 0]
 //	      [-trust-client-header] [-max-body 1048576] [-events out.jsonl]
-//	      [-events-dir dir] [-quiet]
+//	      [-events-dir dir] [-persist dir] [-snapshot-every 16] [-quiet]
 //
 // Example session:
 //
@@ -28,6 +28,14 @@
 // recorder is flushed to -events-dir, and only then does the listener
 // close. -events flushes the server's own control-plane event stream
 // (server.*, session.*) on exit.
+//
+// With -persist <dir> sessions are crash-safe: every accepted command is
+// written to a per-session write-ahead log before its result is visible,
+// periodic checksummed snapshots bound replay time, and on restart the
+// daemon rebuilds every surviving session from disk — byte-identical
+// /events and /metrics — quarantining any torn or corrupt file rather
+// than refusing to boot. See "Durability and crash recovery" in
+// docs/KELPD.md.
 //
 // See docs/KELPD.md for the session API and overload semantics,
 // docs/OBSERVABILITY.md for the event taxonomy, and docs/RESILIENCE.md
@@ -74,6 +82,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	eventsPath := flag.String("events", "", "flush the server control-plane events as JSONL to this file on shutdown")
 	eventsDir := flag.String("events-dir", "", "flush each session's flight recorder as <name>.jsonl into this directory on destroy/drain")
+	persistDir := flag.String("persist", "", "persist sessions (WAL + snapshots) into this directory and recover them on startup")
+	snapEvery := flag.Int("snapshot-every", 16, "write a session snapshot every N logged commands (negative disables snapshots, replay-only)")
 	quiet := flag.Bool("quiet", false, "disable the structured access log")
 	flag.Parse()
 
@@ -82,7 +92,8 @@ func main() {
 		faults: *faultsFlag, maxSessions: *maxSessions, sessionTTL: *sessionTTL,
 		queueDepth: *queueDepth, jobTimeout: *jobTimeout, reqTimeout: *reqTimeout,
 		rate: *rate, burst: *burst, trustClient: *trustClient, maxBody: *maxBody,
-		eventsPath: *eventsPath, eventsDir: *eventsDir, quiet: *quiet,
+		eventsPath: *eventsPath, eventsDir: *eventsDir,
+		persistDir: *persistDir, snapEvery: *snapEvery, quiet: *quiet,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "kelpd:", err)
 		os.Exit(1)
@@ -97,15 +108,74 @@ type config struct {
 	burst                              int
 	maxBody                            int64
 	eventsPath, eventsDir              string
+	persistDir                         string
+	snapEvery                          int
 	quiet, trustClient                 bool
 }
 
+// validate rejects nonsense flag combinations before any listener or
+// persist-dir state is touched, with errors that name the flag and the
+// accepted range. A negative -session-ttl is deliberately legal (it
+// disables idle eviction, as documented on the flag).
+func (c config) validate() error {
+	if c.maxSessions <= 0 {
+		return fmt.Errorf("-max-sessions = %d: want > 0", c.maxSessions)
+	}
+	if c.queueDepth <= 0 {
+		return fmt.Errorf("-queue-depth = %d: want > 0", c.queueDepth)
+	}
+	if c.jobTimeout <= 0 {
+		return fmt.Errorf("-job-timeout = %s: want > 0", c.jobTimeout)
+	}
+	if c.reqTimeout <= 0 {
+		return fmt.Errorf("-request-timeout = %s: want > 0", c.reqTimeout)
+	}
+	if c.rate < 0 {
+		return fmt.Errorf("-rate = %v: want >= 0 (0 disables)", c.rate)
+	}
+	if c.burst < 0 {
+		return fmt.Errorf("-burst = %d: want >= 0 (0 selects 2x rate)", c.burst)
+	}
+	if c.maxBody <= 0 {
+		return fmt.Errorf("-max-body = %d: want > 0", c.maxBody)
+	}
+	if c.snapEvery == 0 {
+		return fmt.Errorf("-snapshot-every = 0: want > 0, or < 0 to disable snapshots")
+	}
+	return nil
+}
+
+// probePersistDir creates the persist directory if needed and proves it is
+// writable before the server boots, so a misconfigured path fails fast at
+// startup instead of silently degrading every session to ephemeral.
+func probePersistDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("-persist %s: %w", dir, err)
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("-persist %s: not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
 func run(c config) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
 	if _, err := scenario.ParsePolicy(c.policy); err != nil {
 		return err
 	}
 	if _, err := faults.ParseSpec(c.faults); err != nil {
 		return err
+	}
+	if c.persistDir != "" {
+		if err := probePersistDir(c.persistDir); err != nil {
+			return err
+		}
 	}
 	cfg := httpd.Config{
 		MaxSessions:       c.maxSessions,
@@ -120,6 +190,8 @@ func run(c config) error {
 		DefaultPolicy:     c.policy,
 		DefaultFaults:     c.faults,
 		EventsDir:         c.eventsDir,
+		PersistDir:        c.persistDir,
+		SnapshotEvery:     c.snapEvery,
 	}
 	if !c.quiet {
 		cfg.AccessLog = os.Stderr

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// base is a config that passes validation; tests perturb one field each.
+func base() config {
+	return config{
+		addr: ":0", policy: "KP",
+		maxSessions: 8, queueDepth: 4,
+		sessionTTL: time.Minute, jobTimeout: time.Second, reqTimeout: time.Second,
+		maxBody: 1 << 20, snapEvery: 16,
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*config)
+		want string
+	}{
+		{"max-sessions zero", func(c *config) { c.maxSessions = 0 }, "-max-sessions"},
+		{"max-sessions negative", func(c *config) { c.maxSessions = -3 }, "-max-sessions"},
+		{"queue-depth zero", func(c *config) { c.queueDepth = 0 }, "-queue-depth"},
+		{"job-timeout negative", func(c *config) { c.jobTimeout = -time.Second }, "-job-timeout"},
+		{"request-timeout zero", func(c *config) { c.reqTimeout = 0 }, "-request-timeout"},
+		{"rate negative", func(c *config) { c.rate = -1 }, "-rate"},
+		{"burst negative", func(c *config) { c.burst = -2 }, "-burst"},
+		{"max-body zero", func(c *config) { c.maxBody = 0 }, "-max-body"},
+		{"snapshot-every zero", func(c *config) { c.snapEvery = 0 }, "-snapshot-every"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mut(&c)
+			err := c.validate()
+			if err == nil {
+				t.Fatal("validate accepted a bad config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	c := base()
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Documented special cases: negative TTL disables eviction, negative
+	// snapshot-every disables snapshots, zero rate disables limiting.
+	c.sessionTTL = -1
+	c.snapEvery = -1
+	c.rate = 0
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbePersistDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "persist")
+	if err := probePersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("probe left %d files behind", len(ents))
+	}
+
+	if os.Geteuid() != 0 { // root ignores mode bits
+		ro := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := probePersistDir(ro); err == nil {
+			t.Fatal("probe accepted an unwritable directory")
+		}
+	}
+
+	// A path blocked by a regular file must fail fast.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := probePersistDir(filepath.Join(blocked, "sub")); err == nil {
+		t.Fatal("probe accepted a path through a regular file")
+	}
+}

@@ -1,0 +1,331 @@
+package main
+
+// Crash mode (-crash N): kelpload spawns a real kelpd-equivalent server as
+// a child process persisting into -persist-dir, drives load at it, SIGKILLs
+// it at a randomized point mid-load, and restarts it — N times. After every
+// kill it decodes the surviving write-ahead logs and asserts the durability
+// contract end to end:
+//
+//   - every command the driver saw acknowledged is in a log (nothing
+//     acknowledged is ever lost), and
+//   - the restarted server's recovered sessions answer /events and /metrics
+//     byte-identically to a reference session rebuilt serially, with
+//     persistence off, from the same surviving command prefix.
+//
+// The child is this same binary re-executed with the internal -serve-child
+// flag; it announces "ADDR host:port" on stdout and serves until killed.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"kelp/internal/durable"
+	"kelp/internal/httpd"
+)
+
+// serveChild is the re-exec'd server process for -crash mode.
+func serveChild(c *cfg) error {
+	srv, err := httpd.New(httpd.Config{
+		MaxSessions:       c.maxSessions,
+		QueueDepth:        c.queueDepth,
+		DefaultPolicy:     c.policy,
+		SessionTTL:        -1,
+		TrustClientHeader: true,
+		PersistDir:        c.persistDir,
+		SnapshotEvery:     c.snapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ADDR %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// child is one spawned server process.
+type child struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startChild(c *cfg) (*child, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe,
+		"-serve-child",
+		"-persist-dir", c.persistDir,
+		"-snapshot-every", fmt.Sprint(c.snapshotEvery),
+		"-policy", c.policy,
+		"-max-sessions", fmt.Sprint(crashPoolSize(c)),
+		"-queue-depth", fmt.Sprint(c.queueDepth),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("crash child announced no address")
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "ADDR ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("unexpected child banner %q", sc.Text())
+	}
+	ch := &child{cmd: cmd, url: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(ch.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return ch, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("crash child never became healthy: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (ch *child) kill() {
+	ch.cmd.Process.Kill()
+	ch.cmd.Wait()
+}
+
+func crashPoolSize(c *cfg) int {
+	if c.maxSessions > 0 {
+		return c.maxSessions
+	}
+	// Every round's sessions accumulate across restarts.
+	return c.crash*c.sessions + 1
+}
+
+// acked tracks what one session's driver saw acknowledged before the kill.
+type acked struct {
+	created  bool
+	admits   int
+	advances int
+}
+
+func runCrash(c *cfg, out io.Writer) error {
+	if c.persistDir == "" {
+		dir, err := os.MkdirTemp("", "kelpload-crash-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		c.persistDir = dir
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	ch, err := startChild(c)
+	if err != nil {
+		return err
+	}
+	defer func() { ch.kill() }()
+
+	verified := 0
+	for round := 0; round < c.crash; round++ {
+		// Drive this round's sessions while a randomized SIGKILL is armed.
+		delay := time.Duration(10+rng.Intn(120)) * time.Millisecond
+		go func(p *os.Process) {
+			time.Sleep(delay)
+			p.Kill()
+		}(ch.cmd.Process)
+
+		acks := make(map[string]*acked, c.sessions)
+		for i := 0; i < c.sessions; i++ {
+			name := fmt.Sprintf("load-r%d-%d", round, i)
+			a := &acked{}
+			acks[name] = a
+			if !driveCrashSession(client, ch.url, name, c, a) {
+				break // child died mid-request
+			}
+		}
+		ch.cmd.Wait()
+
+		// Decode every surviving log and check nothing acknowledged is lost.
+		durableCmds, err := decodeSurvivingWALs(c.persistDir)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		for name, a := range acks {
+			d, ok := durableCmds[name]
+			if a.created && !ok {
+				return fmt.Errorf("round %d: acked session %s has no surviving log", round, name)
+			}
+			if ok && (d.admits < a.admits || d.advances < a.advances) {
+				return fmt.Errorf("round %d: session %s lost acked commands: durable %d/%d, acked %d/%d (admits/advances)",
+					round, name, d.admits, d.advances, a.admits, a.advances)
+			}
+		}
+
+		// Restart on the same directory and byte-compare every recovered
+		// session against a serial no-persist reference.
+		ch, err = startChild(c)
+		if err != nil {
+			return fmt.Errorf("round %d: restart: %w", round, err)
+		}
+		n, err := verifyRecovered(client, ch.url, c, durableCmds)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		verified += n
+		fmt.Fprintf(out, "crash round %d: killed after %s, %d sessions durable, %d recovered byte-identical\n",
+			round, delay, len(durableCmds), n)
+	}
+	fmt.Fprintf(out, "kelpload: %d crash rounds, %d recovered-session verifications, all byte-identical\n",
+		c.crash, verified)
+	return nil
+}
+
+// driveCrashSession runs one session's script, recording what was
+// acknowledged. Returns false when the child stopped answering.
+func driveCrashSession(client *http.Client, base, name string, c *cfg, a *acked) bool {
+	for _, step := range sessionScript(name, c) {
+		status, _, err := doReq(client, step.method, base+step.path, step.body, name)
+		if err != nil {
+			return false
+		}
+		if status >= 400 {
+			continue
+		}
+		switch {
+		case step.path == "/sessions":
+			a.created = true
+		case strings.HasSuffix(step.path, "/tasks"):
+			a.admits++
+		case strings.HasSuffix(step.path, "/advance"):
+			a.advances++
+		}
+	}
+	return true
+}
+
+// decodeSurvivingWALs reads every session log in dir (tolerating torn
+// tails, which recovery salvages) and reduces each to its durable command
+// counts.
+func decodeSurvivingWALs(dir string) (map[string]*acked, error) {
+	entries, _, _, err := durable.ScanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*acked, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(e.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := durable.DecodeWAL(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: surviving log corrupt: %w", e.WALPath, err)
+		}
+		d := &acked{}
+		for _, rec := range rd.Records {
+			switch rec.Kind {
+			case durable.KindCreate:
+				d.created = true
+			case durable.KindAdmit:
+				d.admits++
+			case durable.KindAdvance:
+				d.advances++
+			}
+		}
+		if d.created {
+			out[e.Session] = d
+		}
+	}
+	return out, nil
+}
+
+// verifyRecovered rebuilds each durable session serially on an in-process,
+// persistence-free server — the kelpload script is deterministic, so
+// re-driving the surviving command prefix reproduces the exact state — and
+// byte-compares /events and /metrics with the recovered child.
+func verifyRecovered(client *http.Client, childURL string, c *cfg, durableCmds map[string]*acked) (int, error) {
+	ref, err := httpd.New(httpd.Config{
+		MaxSessions:       len(durableCmds) + 1,
+		DefaultPolicy:     c.policy,
+		SessionTTL:        -1,
+		TrustClientHeader: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer ref.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: ref.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	refURL := "http://" + ln.Addr().String()
+
+	n := 0
+	for name, d := range durableCmds {
+		// Re-drive exactly the durable prefix: create, then the first
+		// d.admits admissions, then d.advances advances.
+		admits, advances := 0, 0
+		for _, step := range sessionScript(name, c) {
+			isTask := strings.HasSuffix(step.path, "/tasks")
+			isAdv := strings.HasSuffix(step.path, "/advance")
+			if isTask && admits >= d.admits {
+				continue
+			}
+			if isAdv && advances >= d.advances {
+				continue
+			}
+			status, body, err := doReq(client, step.method, refURL+step.path, step.body, name)
+			if err != nil || status >= 400 {
+				return n, fmt.Errorf("reference replay %s %s = %d %s (%v)", step.method, step.path, status, body, err)
+			}
+			if isTask {
+				admits++
+			}
+			if isAdv {
+				advances++
+			}
+		}
+		for _, ep := range []string{"/events", "/metrics"} {
+			status, want, err := doReq(client, "GET", refURL+"/sessions/"+name+ep, "", name)
+			if err != nil || status != 200 {
+				return n, fmt.Errorf("reference %s%s = %d (%v)", name, ep, status, err)
+			}
+			status, got, err := doReq(client, "GET", childURL+"/sessions/"+name+ep, "", name)
+			if err != nil || status != 200 {
+				return n, fmt.Errorf("recovered %s%s = %d (%v)", name, ep, status, err)
+			}
+			if want != got {
+				return n, fmt.Errorf("recovered session %s%s diverged from the serial reference", name, ep)
+			}
+		}
+		n++
+	}
+	return n, nil
+}

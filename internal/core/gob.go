@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Guard and RuntimeState carry unexported counters that the default gob
+// encoding would drop, so both implement explicit gob hooks for the
+// durability layer's session snapshots.
+
+type guardWire struct {
+	EnterAfter, ExitAfter int
+	Faulted, Clean        int
+	Degraded              bool
+	Entries               int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g Guard) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(guardWire{
+		EnterAfter: g.EnterAfter, ExitAfter: g.ExitAfter,
+		Faulted: g.faulted, Clean: g.clean,
+		Degraded: g.degraded, Entries: g.entries,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *Guard) GobDecode(data []byte) error {
+	var w guardWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	g.EnterAfter, g.ExitAfter = w.EnterAfter, w.ExitAfter
+	g.faulted, g.clean, g.degraded, g.entries = w.Faulted, w.Clean, w.Degraded, w.Entries
+	return nil
+}
+
+type runtimeStateWire struct {
+	BackfillCores, LowCores, LowPrefetchers int
+	Guard                                   Guard
+	History                                 []Decision
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s RuntimeState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(runtimeStateWire{
+		BackfillCores: s.backfillCores, LowCores: s.lowCores,
+		LowPrefetchers: s.lowPrefetchers, Guard: s.guard, History: s.history,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *RuntimeState) GobDecode(data []byte) error {
+	var w runtimeStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.backfillCores, s.lowCores = w.BackfillCores, w.LowCores
+	s.lowPrefetchers, s.guard, s.history = w.LowPrefetchers, w.Guard, w.History
+	return nil
+}

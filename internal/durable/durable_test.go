@@ -1,0 +1,307 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kelp/internal/events"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	recs = append(recs, Record{Seq: 1, Kind: KindCreate, Config: json.RawMessage(`{"name":"a","seed":7}`)})
+	for i := 2; i <= n; i++ {
+		switch i % 3 {
+		case 0:
+			recs = append(recs, Record{Seq: uint64(i), Kind: KindAdmit, Admit: json.RawMessage(`{"ml":"CNN1","cores":2}`)})
+		case 1:
+			recs = append(recs, Record{Seq: uint64(i), Kind: KindAdvance, End: math.Float64bits(float64(i) * 0.25)})
+		default:
+			recs = append(recs, Record{Seq: uint64(i), Kind: KindFS, Method: "PUT", Path: "schemata", Body: []byte("L3:0=ff")})
+		}
+	}
+	return recs
+}
+
+func writeWAL(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatalf("CreateWAL: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append seq %d: %v", r.Seq, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.wal")
+	recs := testRecords(9)
+	writeWAL(t, path, recs)
+
+	got, err := ReadWAL(path)
+	if err != nil {
+		t.Fatalf("ReadWAL: %v", err)
+	}
+	if got.Torn() {
+		t.Fatalf("clean WAL reported torn at %d", got.TornAt)
+	}
+	if len(got.Records) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(recs))
+	}
+	for i, r := range got.Records {
+		want, _ := json.Marshal(recs[i])
+		have, _ := json.Marshal(r)
+		if !bytes.Equal(want, have) {
+			t.Fatalf("record %d: got %s, want %s", i, have, want)
+		}
+	}
+}
+
+func TestWALAppendAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.wal")
+	writeWAL(t, path, testRecords(4))
+
+	rd, err := ReadWAL(path)
+	if err != nil {
+		t.Fatalf("ReadWAL: %v", err)
+	}
+	w, err := OpenWAL(path, -1, rd.Records[len(rd.Records)-1].Seq)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if err := w.Append(Record{Seq: 5, Kind: KindAdvance, End: math.Float64bits(2)}); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	w.Close()
+
+	rd, err = ReadWAL(path)
+	if err != nil || len(rd.Records) != 5 {
+		t.Fatalf("after reopen: %d records, err %v", len(rd.Records), err)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.wal")
+	recs := testRecords(5)
+	writeWAL(t, path, recs)
+	clean, _ := os.ReadFile(path)
+
+	// Simulate a crash mid-append: every strict prefix of one more frame.
+	extra := frame([]byte(`{"seq":6,"kind":"advance","end":1}`))
+	for cut := 1; cut < len(extra); cut++ {
+		torn := append(append([]byte{}, clean...), extra[:cut]...)
+		rd, err := DecodeWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: unexpected corruption: %v", cut, err)
+		}
+		if !rd.Torn() || rd.TornAt != int64(len(clean)) {
+			t.Fatalf("cut %d: TornAt = %d, want %d", cut, rd.TornAt, len(clean))
+		}
+		if len(rd.Records) != len(recs) {
+			t.Fatalf("cut %d: salvaged %d records, want %d", cut, len(rd.Records), len(recs))
+		}
+	}
+
+	// Truncating at TornAt yields a clean log that accepts appends again.
+	os.WriteFile(path, append(append([]byte{}, clean...), extra[:9]...), 0o644)
+	rd, _ := ReadWAL(path)
+	w, err := OpenWAL(path, rd.TornAt, rd.Records[len(rd.Records)-1].Seq)
+	if err != nil {
+		t.Fatalf("OpenWAL truncate: %v", err)
+	}
+	if err := w.Append(Record{Seq: 6, Kind: KindAdvance, End: math.Float64bits(3)}); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	w.Close()
+	rd, err = ReadWAL(path)
+	if err != nil || rd.Torn() || len(rd.Records) != 6 {
+		t.Fatalf("after salvage: %d records, torn %v, err %v", len(rd.Records), rd.Torn(), err)
+	}
+}
+
+func TestWALInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.wal")
+	writeWAL(t, path, testRecords(6))
+	data, _ := os.ReadFile(path)
+
+	// Flip one payload bit in the middle of the file: corruption, not a tear.
+	data[len(data)/2] ^= 0x40
+	_, err := DecodeWAL(data)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("interior bit flip: got %v, want CorruptError", err)
+	}
+}
+
+func TestWALBadMagicAndLength(t *testing.T) {
+	if _, err := DecodeWAL([]byte("NOTKELP!")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// A nonsense length field is corruption even at the tail.
+	data := append([]byte(walMagic), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	var ce *CorruptError
+	if _, err := DecodeWAL(data); !errors.As(err, &ce) {
+		t.Fatalf("oversized length: got %v, want CorruptError", err)
+	}
+}
+
+func TestWALSeqDiscontinuity(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(walMagic)
+	buf.Write(frame([]byte(`{"seq":1,"kind":"create"}`)))
+	buf.Write(frame([]byte(`{"seq":3,"kind":"advance"}`)))
+	var ce *CorruptError
+	if _, err := DecodeWAL(buf.Bytes()); !errors.As(err, &ce) {
+		t.Fatalf("seq gap: got %v, want CorruptError", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	rec := events.MustNew(8)
+	rec.Emit(0.5, events.AgentAdmit, "agent", map[string]any{"task": "CNN1", "cores": 2})
+	s := &SessionSnapshot{Seq: 42, SimNow: 1.25, Recorder: rec.State()}
+	if err := WriteSnapshot(path, s); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.Seq != 42 || got.SimNow != 1.25 {
+		t.Fatalf("got seq %d now %v", got.Seq, got.SimNow)
+	}
+	if got.Recorder.NextSeq != 2 || len(got.Recorder.Events) != 1 {
+		t.Fatalf("recorder state: %+v", got.Recorder)
+	}
+	// The restored recorder must render identical JSONL.
+	r2 := events.MustNew(8)
+	if err := r2.Restore(got.Recorder); err != nil {
+		t.Fatalf("recorder restore: %v", err)
+	}
+	var a, b bytes.Buffer
+	events.WriteJSONL(&a, rec.Events())
+	events.WriteJSONL(&b, r2.Events())
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("recorder JSONL differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := WriteSnapshot(path, &SessionSnapshot{Seq: 1}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+
+	var ce *CorruptError
+	for name, mut := range map[string]func([]byte) []byte{
+		"bit flip":  func(d []byte) []byte { d = append([]byte{}, d...); d[len(d)-1] ^= 1; return d },
+		"truncated": func(d []byte) []byte { return d[:len(d)-3] },
+		"trailing":  func(d []byte) []byte { return append(append([]byte{}, d...), 0xEE) },
+		"magic":     func(d []byte) []byte { d = append([]byte{}, d...); d[0] = 'X'; return d },
+	} {
+		if _, err := DecodeSnapshot(mut(data)); !errors.As(err, &ce) {
+			t.Errorf("%s: got %v, want CorruptError", name, err)
+		}
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	writeWAL(t, WALPath(dir, "a"), testRecords(2))
+	writeWAL(t, WALPath(dir, "b"), testRecords(1))
+	if err := WriteSnapshot(SnapPath(dir, "b"), &SessionSnapshot{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Stray artifacts: an interrupted snapshot temp file and an orphan snap.
+	os.WriteFile(SnapPath(dir, "b")+".tmp", []byte("partial"), 0o644)
+	os.WriteFile(SnapPath(dir, "ghost"), []byte("orphan"), 0o644)
+
+	entries, dropped, orphans, err := ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Session != "a" || entries[1].Session != "b" {
+		t.Fatalf("entries: %+v", entries)
+	}
+	if entries[0].SnapPath != "" || entries[1].SnapPath == "" {
+		t.Fatalf("snap paths: %+v", entries)
+	}
+	if len(dropped) != 1 {
+		t.Fatalf("dropped: %v", dropped)
+	}
+	if _, err := os.Stat(SnapPath(dir, "b") + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("tmp file not removed")
+	}
+	if len(orphans) != 1 || orphans[0] != SnapPath(dir, "ghost") {
+		t.Fatalf("orphans: %v", orphans)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := WALPath(dir, "bad")
+	writeWAL(t, path, testRecords(1))
+
+	dst, err := Quarantine(dir, path)
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("original still present")
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("quarantined copy: %v", err)
+	}
+	if filepath.Dir(dst) != filepath.Join(dir, QuarantineDirName) {
+		t.Fatalf("quarantine dir: %s", dst)
+	}
+
+	if dst, err = QuarantineBytes(dir, "bad.wal.torn", []byte{1, 2, 3}); err != nil {
+		t.Fatalf("QuarantineBytes: %v", err)
+	}
+	b, _ := os.ReadFile(dst)
+	if !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("fragment bytes: %v", b)
+	}
+}
+
+func TestRemoveSession(t *testing.T) {
+	dir := t.TempDir()
+	writeWAL(t, WALPath(dir, "a"), testRecords(1))
+	WriteSnapshot(SnapPath(dir, "a"), &SessionSnapshot{Seq: 1})
+	if err := RemoveSession(dir, "a"); err != nil {
+		t.Fatalf("RemoveSession: %v", err)
+	}
+	if _, err := os.Stat(WALPath(dir, "a")); !os.IsNotExist(err) {
+		t.Fatal("wal still present")
+	}
+	// Removing an absent session is fine.
+	if err := RemoveSession(dir, "nope"); err != nil {
+		t.Fatalf("RemoveSession absent: %v", err)
+	}
+}
+
+func TestSessionName(t *testing.T) {
+	for file, want := range map[string]string{
+		"/p/x.wal": "x", "y.snap": "y", "z.txt": "", ".wal": "",
+	} {
+		got, ok := SessionName(file)
+		if got != want || ok != (want != "") {
+			t.Errorf("SessionName(%q) = %q, %v", file, got, ok)
+		}
+	}
+}

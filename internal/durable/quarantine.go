@@ -1,0 +1,121 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// QuarantineDirName is the sub-directory of the persist dir that damaged
+// files are moved into. Recovery never deletes evidence: corrupt files and
+// torn tails land here for post-mortem inspection.
+const QuarantineDirName = "quarantine"
+
+// Quarantine moves the file at path into dir's quarantine sub-directory,
+// returning the destination path. An existing quarantined file of the same
+// name is overwritten — the newest damage wins.
+func Quarantine(dir, path string) (string, error) {
+	qdir := filepath.Join(dir, QuarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	if err := syncDir(qdir); err != nil {
+		return dst, err
+	}
+	return dst, syncDir(dir)
+}
+
+// QuarantineBytes writes a byte fragment (a salvaged torn tail) into dir's
+// quarantine sub-directory under name, returning the destination path.
+func QuarantineBytes(dir, name string, data []byte) (string, error) {
+	qdir := filepath.Join(dir, QuarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	dst := filepath.Join(qdir, name)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
+// RemoveSession deletes a session's WAL and snapshot (plus any interrupted
+// snapshot temp file) from dir. Missing files are not errors: callers
+// remove on explicit destroy and TTL eviction, where a file may never have
+// existed.
+func RemoveSession(dir, session string) error {
+	var first error
+	for _, p := range []string{
+		WALPath(dir, session),
+		SnapPath(dir, session),
+		SnapPath(dir, session) + ".tmp",
+	} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ScanEntry is one session found in a persist directory.
+type ScanEntry struct {
+	Session string
+	WALPath string
+	// SnapPath is empty when no snapshot exists.
+	SnapPath string
+}
+
+// ScanDir lists the sessions present in dir, in name order, and deletes
+// leftover ".tmp" files from snapshot writes interrupted by a crash
+// (returned in dropped so the caller can report them). A ".snap" without a
+// ".wal" is treated as a stray and returned in orphans for quarantine: the
+// WAL is the source of truth and a snapshot alone cannot rebuild a session.
+func ScanDir(dir string) (entries []ScanEntry, dropped, orphans []string, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wals := map[string]bool{}
+	snaps := map[string]bool{}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			p := filepath.Join(dir, name)
+			if rmErr := os.Remove(p); rmErr == nil {
+				dropped = append(dropped, p)
+			}
+		case strings.HasSuffix(name, ".wal"):
+			wals[strings.TrimSuffix(name, ".wal")] = true
+		case strings.HasSuffix(name, ".snap"):
+			snaps[strings.TrimSuffix(name, ".snap")] = true
+		}
+	}
+	names := make([]string, 0, len(wals))
+	for n := range wals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := ScanEntry{Session: n, WALPath: WALPath(dir, n)}
+		if snaps[n] {
+			e.SnapPath = SnapPath(dir, n)
+		}
+		entries = append(entries, e)
+	}
+	for n := range snaps {
+		if !wals[n] {
+			orphans = append(orphans, SnapPath(dir, n))
+		}
+	}
+	sort.Strings(orphans)
+	return entries, dropped, orphans, nil
+}

@@ -155,6 +155,20 @@ const (
 	// SessionDestroy records a session leaving the pool. Fields: session,
 	// reason (api | ttl | drain), jobs_canceled.
 	SessionDestroy Type = "session.destroy"
+	// SessionPersist records a session snapshot reaching disk (checksummed,
+	// atomically renamed). Emitted to the server recorder only — never the
+	// session's own flight recorder, which must stay byte-identical to an
+	// unpersisted run. Fields: session, seq, sim_time.
+	SessionPersist Type = "session.persist"
+	// SessionRestore records a session rebuilt from its persist directory at
+	// boot. Fields: session, mode (snapshot | replay), seq, replayed (WAL
+	// records applied), sim_time.
+	SessionRestore Type = "session.restore"
+	// ServerRecover records one recovery incident at boot: a torn WAL tail
+	// salvaged, or a corrupt snapshot/WAL quarantined. The server keeps
+	// booting; the damaged file moves to <persist>/quarantine. Fields:
+	// session, file, reason, and action (salvaged | quarantined | dropped).
+	ServerRecover Type = "server.recover"
 )
 
 // Types lists every event type in the taxonomy, in documentation order.
@@ -170,6 +184,7 @@ func Types() []Type {
 		FleetPlace, FleetEvict, FleetRebalance, MachineSaturate,
 		ServerPanic, ServerShed, ServerWriteError, ServerDrain,
 		SessionCreate, SessionDestroy,
+		SessionPersist, SessionRestore, ServerRecover,
 	}
 }
 

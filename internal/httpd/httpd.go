@@ -108,6 +108,20 @@ type Config struct {
 	// EventsDir, when set, receives one <session>.jsonl flight-recorder
 	// dump per session on destroy, TTL eviction, and drain.
 	EventsDir string
+	// PersistDir, when set, makes sessions crash-safe: every accepted
+	// command appends to a per-session write-ahead log (fsynced before the
+	// response is visible) and the full simulation state snapshots
+	// periodically (checksummed, atomically renamed). New recovers every
+	// surviving session from this directory at construction; damaged files
+	// are quarantined into <PersistDir>/quarantine rather than refusing to
+	// boot. See docs/KELPD.md, "Durability & crash recovery".
+	PersistDir string
+	// SnapshotEvery is the number of WAL records between snapshot attempts
+	// for persisted sessions. 0 selects 16; negative disables snapshots
+	// entirely (recovery replays the full command log, which is exact but
+	// slower). Sessions whose workload or fault spec declines snapshotting
+	// fall back to full replay regardless.
+	SnapshotEvery int
 	// Clock supplies wall time for TTLs, rate limiting, job timeouts and
 	// server-event timestamps; nil selects time.Now. Tests inject a fake.
 	Clock func() time.Time
@@ -143,6 +157,9 @@ func (c Config) withDefaults() Config {
 	if c.EventCapacity <= 0 {
 		c.EventCapacity = events.DefaultCapacity
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 16
+	}
 	if c.DefaultPolicy == "" {
 		c.DefaultPolicy = "KP"
 	}
@@ -176,6 +193,13 @@ type Server struct {
 	shedTotal        atomic.Uint64
 	panicsTotal      atomic.Uint64
 	writeErrors      atomic.Uint64
+
+	// Durability counters (zero when PersistDir is unset).
+	recoveredSessions atomic.Int64  // sessions rebuilt at boot
+	quarantinedFiles  atomic.Int64  // damaged files moved to quarantine
+	replayedRecords   atomic.Int64  // WAL records applied during recovery
+	persistErrors     atomic.Uint64 // failed WAL appends / snapshot writes
+	snapshotsTotal    atomic.Uint64 // snapshots written
 }
 
 // New builds a session server. A TTL janitor goroutine runs until Close
@@ -199,6 +223,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RateLimit > 0 {
 		s.limit = newRateLimiter(cfg.RateLimit, float64(cfg.RateBurst), cfg.Clock)
+	}
+	if cfg.PersistDir != "" {
+		if err := s.recoverSessions(); err != nil {
+			return nil, fmt.Errorf("httpd: persist dir: %w", err)
+		}
 	}
 	if cfg.SessionTTL > 0 {
 		go s.runJanitor()
@@ -297,6 +326,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"panics":            s.panicsTotal.Load(),
 		"write_errors":      s.writeErrors.Load(),
 		"uptime_sec":        s.nowSec(),
+		"persist": map[string]any{
+			"enabled":            s.cfg.PersistDir != "",
+			"recovered_sessions": s.recoveredSessions.Load(),
+			"quarantined_files":  s.quarantinedFiles.Load(),
+			"replayed_records":   s.replayedRecords.Load(),
+			"persist_errors":     s.persistErrors.Load(),
+			"snapshots":          s.snapshotsTotal.Load(),
+		},
 	})
 }
 

@@ -229,6 +229,10 @@ func (sess *Session) worker(s *Server) {
 		select {
 		case j := <-sess.jobs:
 			sess.runJob(s, j)
+			// Snapshot between jobs, never inside one: capture is brief
+			// (under sess.mu), the disk write happens with the lock
+			// released, and queued jobs only wait for the capture.
+			sess.snapshotNow(s, false)
 		case <-sess.quit:
 			return
 		}
@@ -275,6 +279,14 @@ func (sess *Session) runJob(s *Server, j *Job) {
 		}
 	}
 	now := eng.Now()
+	if ticks > 0 {
+		// Log-after-apply, still under the simulation lock and before
+		// j.finish publishes the result: the job is durable before it is
+		// visible. The record carries the engine clock actually reached —
+		// not the requested span — so a job stopped early by a timeout or
+		// cancel replays to exactly the same state.
+		sess.logAdvance(s, now)
+	}
 	sess.storeNow()
 	sess.syncDegraded(s)
 	sess.mu.Unlock()

@@ -1,0 +1,480 @@
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"kelp/internal/durable"
+	"kelp/internal/events"
+)
+
+// This file is the glue between the session server and internal/durable:
+// WAL appends on the hot paths, periodic snapshots from the worker, and the
+// boot-time recovery planner.
+//
+// Ordering discipline (the crash-safety contract):
+//
+//   - Structural commands (task admission, fs writes) log BEFORE they
+//     apply, under sess.mu. Their outcome — including rejection — is a
+//     deterministic function of (session state, request), so replay
+//     reproduces successes and failures alike, with their events.
+//   - Advances log AFTER the engine ticked, still under sess.mu and before
+//     the job result is published, recording the clock actually reached.
+//     A crash mid-advance therefore rolls back to the previous command
+//     boundary; a logged advance replays to the same state bit-for-bit.
+//   - Every append fsyncs before the response (or job result) is visible:
+//     anything a client observed is durable.
+//
+// Both append flavors run under sess.mu, so WAL order equals apply order
+// and a snapshot captured under sess.mu at sequence S corresponds exactly
+// to the state produced by records [1, S].
+
+// initWAL creates the session's log and writes the create record. Called
+// before the session is inserted into the pool, so no command can race
+// ahead of the create record. On failure the session runs ephemeral.
+func (sess *Session) initWAL(s *Server, req createSessionRequest) {
+	req.Name = sess.name // auto-generated names must survive recovery
+	cfg, err := json.Marshal(req)
+	if err != nil {
+		s.persistErrors.Add(1)
+		return
+	}
+	w, err := durable.CreateWAL(durable.WALPath(s.cfg.PersistDir, sess.name))
+	if err != nil {
+		s.persistErrors.Add(1)
+		return
+	}
+	if err := w.Append(durable.Record{Seq: 1, Kind: durable.KindCreate, Config: cfg}); err != nil {
+		w.Close()
+		s.persistErrors.Add(1)
+		return
+	}
+	sess.wal = w
+	sess.persistOn = true
+	sess.persistSeq.Store(1)
+}
+
+// appendLocked stamps the next sequence number and appends. Caller holds
+// sess.mu. An append failure poisons persistence for this session — a gap
+// in the log would replay a wrong history, so no further records are
+// written and the session continues ephemeral (counted in persist_errors,
+// visible as persist.failed in the session listing).
+func (sess *Session) appendLocked(s *Server, rec durable.Record) {
+	if sess.wal == nil || sess.persistFailed.Load() {
+		return
+	}
+	rec.Seq = sess.wal.Seq() + 1
+	if err := sess.wal.Append(rec); err != nil {
+		sess.persistFailed.Store(true)
+		s.persistErrors.Add(1)
+		return
+	}
+	sess.persistSeq.Store(rec.Seq)
+	sess.sinceSnap++
+}
+
+func (sess *Session) logAdmit(s *Server, req admitRequest) {
+	if sess.wal == nil {
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		sess.persistFailed.Store(true)
+		s.persistErrors.Add(1)
+		return
+	}
+	sess.appendLocked(s, durable.Record{Kind: durable.KindAdmit, Admit: body})
+}
+
+func (sess *Session) logFS(s *Server, method, rawPath string, body []byte) {
+	if sess.wal == nil {
+		return
+	}
+	sess.appendLocked(s, durable.Record{
+		Kind: durable.KindFS, Method: method, Path: rawPath, Body: body,
+	})
+}
+
+func (sess *Session) logAdvance(s *Server, end float64) {
+	if sess.wal == nil {
+		return
+	}
+	sess.appendLocked(s, durable.Record{
+		Kind: durable.KindAdvance, End: math.Float64bits(end),
+	})
+}
+
+// captureLocked builds a snapshot of the session at the current WAL
+// sequence. Caller holds sess.mu. Returns false when the workload declines
+// (see workload.Snapshotter); recovery then falls back to full replay.
+func (sess *Session) captureLocked() (*durable.SessionSnapshot, bool) {
+	n := sess.agent.Node()
+	ns, ok := n.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &durable.SessionSnapshot{
+		Seq:      sess.wal.Seq(),
+		SimNow:   n.Now(),
+		Recorder: sess.agent.Events().State(),
+		Node:     ns,
+	}
+	if ap := sess.agent.Applied(); ap != nil {
+		if ap.Runtime != nil {
+			st := ap.Runtime.Snapshot()
+			snap.Runtime = &st
+		}
+		if ap.Throttler != nil {
+			st := ap.Throttler.Snapshot()
+			snap.Throttler = &st
+		}
+		if ap.MBA != nil {
+			st := ap.MBA.Snapshot()
+			snap.MBA = &st
+		}
+	}
+	return snap, true
+}
+
+// snapshotNow writes a snapshot if one is due: SnapshotEvery records have
+// accumulated (or force, used by drain, with any accumulation at all). The
+// capture runs under sess.mu; the encode/write/fsync/rename runs with the
+// lock released, so queued jobs only ever wait for the capture.
+func (sess *Session) snapshotNow(s *Server, force bool) {
+	if !sess.snapEligible || s.cfg.SnapshotEvery < 0 || sess.persistFailed.Load() {
+		return
+	}
+	sess.mu.Lock()
+	if sess.wal == nil || sess.sinceSnap == 0 || (!force && sess.sinceSnap < s.cfg.SnapshotEvery) {
+		sess.mu.Unlock()
+		return
+	}
+	snap, ok := sess.captureLocked()
+	if ok {
+		sess.sinceSnap = 0
+	}
+	sess.mu.Unlock()
+	if !ok {
+		return
+	}
+	if err := durable.WriteSnapshot(durable.SnapPath(s.cfg.PersistDir, sess.name), snap); err != nil {
+		s.persistErrors.Add(1)
+		return
+	}
+	sess.snapSeq.Store(snap.Seq)
+	sess.snapAtNS.Store(s.cfg.Clock().UnixNano())
+	s.snapshotsTotal.Add(1)
+	// Server recorder only: the session's own flight recorder must stay
+	// byte-identical to an unpersisted run.
+	s.emit(events.SessionPersist, map[string]any{
+		"session": sess.name, "seq": snap.Seq, "sim_time": snap.SimNow,
+	})
+}
+
+// recoverSessions rebuilds every surviving session from PersistDir. It
+// never refuses to boot: damaged files are quarantined (or torn tails
+// salvaged) with a server.recover event naming the reason, and recovery
+// continues with the remaining sessions. Runs from New, before the server
+// accepts any request.
+func (s *Server) recoverSessions() error {
+	dir := s.cfg.PersistDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	entries, dropped, orphans, err := durable.ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range dropped {
+		name, _ := durable.SessionName(p[:len(p)-len(".tmp")])
+		s.recoverIncident(name, filepath.Base(p), "interrupted snapshot write", "dropped")
+	}
+	for _, p := range orphans {
+		name, _ := durable.SessionName(p)
+		s.quarantineFile(name, p, "snapshot without a log")
+	}
+	for _, e := range entries {
+		s.recoverSession(e)
+	}
+	return nil
+}
+
+// recoverIncident emits one server.recover event.
+func (s *Server) recoverIncident(session, file, reason, action string) {
+	s.emit(events.ServerRecover, map[string]any{
+		"session": session, "file": file, "reason": reason, "action": action,
+	})
+}
+
+// quarantineFile moves one damaged file into <dir>/quarantine and records
+// the incident.
+func (s *Server) quarantineFile(session, path, reason string) {
+	if _, err := durable.Quarantine(s.cfg.PersistDir, path); err != nil {
+		s.recoverIncident(session, filepath.Base(path), reason+" (quarantine failed: "+err.Error()+")", "dropped")
+		return
+	}
+	s.quarantinedFiles.Add(1)
+	s.recoverIncident(session, filepath.Base(path), reason, "quarantined")
+}
+
+// recoverSession rebuilds one session from its WAL (and snapshot, when one
+// is present and valid). Failures quarantine the damaged files and drop
+// the session; the server keeps booting.
+func (s *Server) recoverSession(e durable.ScanEntry) {
+	data, err := os.ReadFile(e.WALPath)
+	if err != nil {
+		s.recoverIncident(e.Session, filepath.Base(e.WALPath), "unreadable log: "+err.Error(), "dropped")
+		return
+	}
+	rd, err := durable.DecodeWAL(data)
+	if err != nil {
+		// Interior damage: the log's tail cannot be trusted past the
+		// corruption, so the session is unrecoverable. Quarantine both
+		// files and keep booting.
+		s.quarantineFile(e.Session, e.WALPath, "corrupt log: "+err.Error())
+		if e.SnapPath != "" {
+			s.quarantineFile(e.Session, e.SnapPath, "snapshot of a corrupt log")
+		}
+		return
+	}
+	if rd.Torn() {
+		// A crash mid-append: salvage the intact prefix, preserve the torn
+		// fragment as evidence, truncate when the log is reopened below.
+		frag := data[rd.TornAt:]
+		if _, qerr := durable.QuarantineBytes(s.cfg.PersistDir, e.Session+".wal.torn", frag); qerr == nil {
+			s.quarantinedFiles.Add(1)
+		}
+		s.recoverIncident(e.Session, filepath.Base(e.WALPath),
+			fmt.Sprintf("torn log tail (%d bytes)", len(frag)), "salvaged")
+	}
+	recs := rd.Records
+	if len(recs) == 0 || recs[0].Kind != durable.KindCreate {
+		s.quarantineFile(e.Session, e.WALPath, "log has no create record")
+		if e.SnapPath != "" {
+			s.quarantineFile(e.Session, e.SnapPath, "snapshot of an unusable log")
+		}
+		return
+	}
+	var req createSessionRequest
+	if err := json.Unmarshal(recs[0].Config, &req); err != nil || req.Name != e.Session {
+		s.quarantineFile(e.Session, e.WALPath, "unusable create record")
+		if e.SnapPath != "" {
+			s.quarantineFile(e.Session, e.SnapPath, "snapshot of an unusable log")
+		}
+		return
+	}
+	lastSeq := recs[len(recs)-1].Seq
+
+	var snap *durable.SessionSnapshot
+	if e.SnapPath != "" {
+		sn, err := durable.ReadSnapshot(e.SnapPath)
+		switch {
+		case err != nil:
+			s.quarantineFile(e.Session, e.SnapPath, "corrupt snapshot: "+err.Error())
+		case sn.Seq > lastSeq:
+			// The snapshot outruns the surviving log — restoring it would
+			// desynchronize state from the command stream.
+			s.quarantineFile(e.Session, e.SnapPath, "snapshot ahead of the log")
+		default:
+			snap = sn
+		}
+	}
+
+	mode := "snapshot"
+	sess, replayed, err := (*Session)(nil), 0, error(nil)
+	if snap != nil {
+		sess, replayed, err = s.restoreFromSnapshot(req, e.Session, recs, snap)
+		if err != nil {
+			s.quarantineFile(e.Session, e.SnapPath, "snapshot restore failed: "+err.Error())
+			snap = nil
+		}
+	}
+	if sess == nil {
+		mode = "replay"
+		sess, replayed, err = s.replayAll(req, e.Session, recs)
+		if err != nil {
+			s.quarantineFile(e.Session, e.WALPath, "replay failed: "+err.Error())
+			return
+		}
+	}
+
+	trunc := int64(-1)
+	if rd.Torn() {
+		trunc = rd.TornAt
+	}
+	w, err := durable.OpenWAL(e.WALPath, trunc, lastSeq)
+	if err != nil {
+		// Recovered in memory but can't keep logging: run ephemeral.
+		s.persistErrors.Add(1)
+		sess.persistFailed.Store(true)
+	} else {
+		sess.wal = w
+	}
+	sess.persistOn = true
+	sess.persistSeq.Store(lastSeq)
+	if snap != nil {
+		sess.snapSeq.Store(snap.Seq)
+		sess.snapAtNS.Store(s.cfg.Clock().UnixNano())
+	}
+	sess.recoveredMode = mode
+	sess.recoveredReplay = replayed
+
+	s.mu.Lock()
+	s.sessions[e.Session] = sess
+	s.mu.Unlock()
+	s.sessionsLive.Add(1)
+	s.recoveredSessions.Add(1)
+	s.replayedRecords.Add(int64(replayed))
+	s.emit(events.SessionRestore, map[string]any{
+		"session": e.Session, "mode": mode, "seq": lastSeq,
+		"replayed": replayed, "sim_time": sess.simNow(),
+	})
+}
+
+// restoreFromSnapshot rebuilds a session as snapshot + WAL tail: replay
+// the structural records up to the snapshot's sequence (task and group
+// registration is time-invariant, so advances are skipped), install the
+// snapshot state over it, then replay the tail in full.
+func (s *Server) restoreFromSnapshot(req createSessionRequest, name string, recs []durable.Record, snap *durable.SessionSnapshot) (*Session, int, error) {
+	if snap.Node == nil {
+		return nil, 0, fmt.Errorf("httpd: snapshot has no node state")
+	}
+	sess, err := s.buildSession(req, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	replayed := 0
+	err = func() error {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		bound := int(snap.Seq)
+		if bound > len(recs) {
+			bound = len(recs) // unreachable (Seq checked against lastSeq), defensive
+		}
+		for _, rec := range recs[1:bound] {
+			if rec.Kind == durable.KindAdvance {
+				continue
+			}
+			if err := sess.applyRecord(s, rec); err != nil {
+				return err
+			}
+			replayed++
+		}
+		n := sess.agent.Node()
+		if err := n.Restore(snap.Node); err != nil {
+			return err
+		}
+		ap := sess.agent.Applied()
+		hasRT := ap != nil && ap.Runtime != nil
+		hasTH := ap != nil && ap.Throttler != nil
+		hasMBA := ap != nil && ap.MBA != nil
+		if (snap.Runtime != nil) != hasRT || (snap.Throttler != nil) != hasTH || (snap.MBA != nil) != hasMBA {
+			return fmt.Errorf("httpd: snapshot controller set does not match the rebuilt session")
+		}
+		if snap.Runtime != nil {
+			ap.Runtime.Restore(*snap.Runtime)
+		}
+		if snap.Throttler != nil {
+			ap.Throttler.Restore(*snap.Throttler)
+		}
+		if snap.MBA != nil {
+			ap.MBA.Restore(*snap.MBA)
+		}
+		// The recorder state overwrites the admission events the structural
+		// replay just emitted at t=0 with the true history up to the
+		// snapshot, preserving byte-identical /events output.
+		if err := sess.agent.Events().Restore(snap.Recorder); err != nil {
+			return err
+		}
+		for _, rec := range recs[bound:] {
+			if err := sess.applyRecord(s, rec); err != nil {
+				return err
+			}
+			replayed++
+		}
+		sess.storeNow()
+		sess.syncDegraded(s)
+		return nil
+	}()
+	if err != nil {
+		sess.abandon(s)
+		return nil, 0, err
+	}
+	return sess, replayed, nil
+}
+
+// replayAll rebuilds a session by replaying the full command log from t=0.
+// The simulation is deterministic and seeded, so this is exact — just
+// slower than a snapshot restore.
+func (s *Server) replayAll(req createSessionRequest, name string, recs []durable.Record) (*Session, int, error) {
+	sess, err := s.buildSession(req, name)
+	if err != nil {
+		return nil, 0, err
+	}
+	replayed := 0
+	err = func() error {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		for _, rec := range recs[1:] {
+			if err := sess.applyRecord(s, rec); err != nil {
+				return err
+			}
+			replayed++
+		}
+		sess.storeNow()
+		sess.syncDegraded(s)
+		return nil
+	}()
+	if err != nil {
+		sess.abandon(s)
+		return nil, 0, err
+	}
+	return sess, replayed, nil
+}
+
+// applyRecord replays one logged command. Caller holds sess.mu. Admissions
+// and fs writes go through the same apply functions the live handlers use;
+// an advance ticks to the recorded end time with the same loop shape as
+// runJob, which is byte-identical to the original chunked execution.
+func (sess *Session) applyRecord(s *Server, rec durable.Record) error {
+	switch rec.Kind {
+	case durable.KindCreate:
+		return nil // consumed by buildSession
+	case durable.KindAdmit:
+		var req admitRequest
+		if err := json.Unmarshal(rec.Admit, &req); err != nil {
+			return fmt.Errorf("httpd: admit record %d: %w", rec.Seq, err)
+		}
+		sess.applyAdmit(s, req) // failures replay as failures, with their events
+		return nil
+	case durable.KindFS:
+		sess.applyFS(rec.Method, rec.Path, rec.Body)
+		return nil
+	case durable.KindAdvance:
+		end := math.Float64frombits(rec.End)
+		eng := sess.agent.Node().Engine()
+		for eng.Now() < end-1e-12 {
+			eng.Tick()
+		}
+		return nil
+	}
+	return fmt.Errorf("httpd: record %d: unknown kind %q", rec.Seq, rec.Kind)
+}
+
+// abandon tears down a half-recovered session that never entered the pool:
+// stop the worker and release any degraded-gauge contribution the replay
+// made. No events, no counters — the session never existed publicly.
+func (sess *Session) abandon(s *Server) {
+	sess.stopped.Store(true)
+	sess.cancel.Store(true)
+	close(sess.quit)
+	<-sess.dead
+	sess.mu.Lock()
+	if sess.degraded.CompareAndSwap(true, false) {
+		s.degradedSessions.Add(-1)
+	}
+	sess.mu.Unlock()
+}

@@ -1,0 +1,366 @@
+package httpd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kelp/internal/durable"
+	"kelp/internal/events"
+)
+
+// newPersistServer builds a server persisting into dir.
+func newPersistServer(t testing.TB, dir string, snapEvery int) (*Server, *httptest.Server) {
+	t.Helper()
+	return newServerCfg(t, Config{PersistDir: dir, SnapshotEvery: snapEvery})
+}
+
+// crash simulates an abrupt process death for durability tests: the WAL
+// handles are dropped without the final drain snapshot or file removal
+// that a graceful shutdown would perform, leaving the persist dir exactly
+// as a SIGKILL would.
+func crash(s *Server, ts *httptest.Server) {
+	ts.Close()
+	s.mu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		if sess != nil {
+			all = append(all, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range all {
+		sess.mu.Lock()
+		if sess.wal != nil {
+			sess.wal.Close()
+			sess.wal = nil
+		}
+		sess.mu.Unlock()
+	}
+	s.Close()
+}
+
+// driveLoad scripts a deterministic session: one accelerated task, two
+// batch tasks, a cgroup write, a rejected admission, and three advances.
+func driveLoad(t testing.TB, ts, name string) {
+	t.Helper()
+	base := ts + "/sessions/" + name
+	for _, step := range []struct{ method, url, body string }{
+		{"POST", ts + "/sessions", `{"name":"` + name + `","seed":7}`},
+		{"POST", base + "/tasks", `{"ml":"CNN1","cores":2}`},
+		{"POST", base + "/tasks", `{"kind":"Stitch"}`},
+		{"POST", base + "/advance", `{"ms":400,"wait":true}`},
+		{"POST", base + "/fs/cgroup/batch", ""},
+		{"PUT", base + "/fs/cgroup/batch/cpuset.cpus", "0-3"},
+		{"POST", base + "/tasks", `{"kind":"Stream","threads":2}`},
+		{"POST", base + "/advance", `{"ms":300,"wait":true}`},
+		{"POST", base + "/tasks", `{"ml":"CNN2"}`}, // rejected: second ML task
+		{"POST", base + "/advance", `{"ms":300,"wait":true}`},
+	} {
+		resp, body := do(t, step.method, step.url, step.body)
+		if resp.StatusCode >= 500 {
+			t.Fatalf("%s %s = %d %s", step.method, step.url, resp.StatusCode, body)
+		}
+	}
+}
+
+// observe captures the externally visible state a recovery must reproduce
+// byte-for-byte.
+func observe(t testing.TB, ts, name string) (events, metrics, tasks string) {
+	t.Helper()
+	base := ts + "/sessions/" + name
+	_, events = do(t, "GET", base+"/events", "")
+	_, metrics = do(t, "GET", base+"/metrics", "")
+	_, tasks = do(t, "GET", base+"/tasks", "")
+	return
+}
+
+// hasRecoverEvent reports whether the server recorder holds a
+// server.recover event with the given action.
+func hasRecoverEvent(s *Server, action string) bool {
+	for _, ev := range s.rec.Events() {
+		if ev.Type == events.ServerRecover && ev.Fields["action"] == action {
+			return true
+		}
+	}
+	return false
+}
+
+func testRecoveryByteIdentical(t *testing.T, snapEvery int, wantMode string) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, snapEvery)
+	driveLoad(t, ts1.URL, "a")
+	wantEvents, wantMetrics, wantTasks := observe(t, ts1.URL, "a")
+	crash(s1, ts1)
+
+	s2, ts2 := newPersistServer(t, dir, snapEvery)
+	if got := s2.recoveredSessions.Load(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+	resp, info := do(t, "GET", ts2.URL+"/sessions/a", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("recovered session info = %d %s", resp.StatusCode, info)
+	}
+	if !strings.Contains(info, `"recovered_mode":"`+wantMode+`"`) {
+		t.Fatalf("info = %s, want recovered_mode %q", info, wantMode)
+	}
+	gotEvents, gotMetrics, gotTasks := observe(t, ts2.URL, "a")
+	if gotEvents != wantEvents {
+		t.Errorf("recovered /events differs:\n got %s\nwant %s", gotEvents, wantEvents)
+	}
+	if gotMetrics != wantMetrics {
+		t.Errorf("recovered /metrics differs:\n got %s\nwant %s", gotMetrics, wantMetrics)
+	}
+	if gotTasks != wantTasks {
+		t.Errorf("recovered /tasks differs:\n got %s\nwant %s", gotTasks, wantTasks)
+	}
+
+	// The recovered session keeps working — and keeps logging: survive a
+	// second crash that includes post-recovery commands.
+	resp, body := do(t, "POST", ts2.URL+"/sessions/a/advance", `{"ms":250,"wait":true}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-recovery advance = %d %s", resp.StatusCode, body)
+	}
+	wantEvents2, wantMetrics2, _ := observe(t, ts2.URL, "a")
+	crash(s2, ts2)
+
+	s3, ts3 := newPersistServer(t, dir, snapEvery)
+	gotEvents2, gotMetrics2, _ := observe(t, ts3.URL, "a")
+	if gotEvents2 != wantEvents2 || gotMetrics2 != wantMetrics2 {
+		t.Error("second recovery (with post-recovery commands) not byte-identical")
+	}
+	_ = s3
+}
+
+func TestRecoveryReplayByteIdentical(t *testing.T) {
+	// Snapshots disabled: recovery replays the full command log from t=0.
+	testRecoveryByteIdentical(t, -1, "replay")
+}
+
+func TestRecoverySnapshotByteIdentical(t *testing.T) {
+	// Snapshot after every job: recovery restores state + replays the tail.
+	testRecoveryByteIdentical(t, 1, "snapshot")
+	// The mode assertion above proves a snapshot was used; also pin that
+	// the file existed on disk before the (final) recovery consumed it.
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	driveLoad(t, ts1.URL, "a")
+	crash(s1, ts1)
+	if _, err := os.Stat(durable.SnapPath(dir, "a")); err != nil {
+		t.Fatalf("no snapshot on disk after crash: %v", err)
+	}
+}
+
+func TestRecoveryTornTailSalvaged(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, -1)
+	driveLoad(t, ts1.URL, "a")
+	wantEvents, wantMetrics, _ := observe(t, ts1.URL, "a")
+	crash(s1, ts1)
+
+	// A crash mid-append leaves a partial frame: a bare 5-byte header
+	// fragment at the tail.
+	f, err := os.OpenFile(durable.WALPath(dir, "a"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, ts2 := newPersistServer(t, dir, -1)
+	if got := s2.recoveredSessions.Load(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+	gotEvents, gotMetrics, _ := observe(t, ts2.URL, "a")
+	if gotEvents != wantEvents || gotMetrics != wantMetrics {
+		t.Error("salvaged session not byte-identical to the pre-tear state")
+	}
+	if !hasRecoverEvent(s2, "salvaged") {
+		t.Error("no server.recover event with action=salvaged")
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.QuarantineDirName, "a.wal.torn")); err != nil {
+		t.Errorf("torn fragment not preserved in quarantine: %v", err)
+	}
+
+	// The truncated log accepts new appends at the salvaged sequence.
+	resp, body := do(t, "POST", ts2.URL+"/sessions/a/advance", `{"ms":100,"wait":true}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-salvage advance = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestRecoveryCorruptLogQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, -1)
+	driveLoad(t, ts1.URL, "a")
+	driveLoad(t, ts1.URL, "b")
+	wantEvents, wantMetrics, _ := observe(t, ts1.URL, "b")
+	crash(s1, ts1)
+
+	// Flip a CRC byte of session a's first frame — interior damage, since
+	// more frames follow — so the log is corrupt, not torn.
+	path := durable.WALPath(dir, "a")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newPersistServer(t, dir, -1)
+	// Session a is unrecoverable and quarantined; b recovers untouched.
+	if resp, _ := do(t, "GET", ts2.URL+"/sessions/a", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("corrupt session resurrected")
+	}
+	if got := s2.recoveredSessions.Load(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1 (only b)", got)
+	}
+	gotEvents, gotMetrics, _ := observe(t, ts2.URL, "b")
+	if gotEvents != wantEvents || gotMetrics != wantMetrics {
+		t.Error("surviving session b not byte-identical after neighbor quarantine")
+	}
+	if !hasRecoverEvent(s2, "quarantined") {
+		t.Error("no server.recover event with action=quarantined")
+	}
+	if s2.quarantinedFiles.Load() == 0 {
+		t.Error("healthz quarantined_files not bumped")
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.QuarantineDirName, "a.wal")); err != nil {
+		t.Errorf("corrupt log not in quarantine: %v", err)
+	}
+	// The name is free again.
+	if resp, _ := do(t, "POST", ts2.URL+"/sessions", `{"name":"a"}`); resp.StatusCode != http.StatusCreated {
+		t.Error("quarantined name not reusable")
+	}
+}
+
+func TestRecoveryCorruptSnapshotFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	driveLoad(t, ts1.URL, "a")
+	wantEvents, wantMetrics, _ := observe(t, ts1.URL, "a")
+	crash(s1, ts1)
+
+	path := durable.SnapPath(dir, "a")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newPersistServer(t, dir, 1)
+	resp, info := do(t, "GET", ts2.URL+"/sessions/a", "")
+	if resp.StatusCode != 200 || !strings.Contains(info, `"recovered_mode":"replay"`) {
+		t.Fatalf("info = %d %s, want a replay-mode recovery", resp.StatusCode, info)
+	}
+	gotEvents, gotMetrics, _ := observe(t, ts2.URL, "a")
+	if gotEvents != wantEvents || gotMetrics != wantMetrics {
+		t.Error("replay fallback not byte-identical")
+	}
+	if !hasRecoverEvent(s2, "quarantined") {
+		t.Error("corrupt snapshot not reported as quarantined")
+	}
+}
+
+func TestFaultedSessionIsReplayOnly(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	base := ts1.URL + "/sessions/a"
+	for _, step := range []struct{ method, url, body string }{
+		{"POST", ts1.URL + "/sessions", `{"name":"a","seed":7,"faults":"seed=3,drop=0.2,actstick=0.1"}`},
+		{"POST", base + "/tasks", `{"ml":"CNN1","cores":2}`},
+		{"POST", base + "/tasks", `{"kind":"Stitch"}`},
+		{"POST", base + "/advance", `{"ms":500,"wait":true}`},
+		{"POST", base + "/advance", `{"ms":500,"wait":true}`},
+	} {
+		if resp, body := do(t, step.method, step.url, step.body); resp.StatusCode >= 400 {
+			t.Fatalf("%s %s = %d %s", step.method, step.url, resp.StatusCode, body)
+		}
+	}
+	wantEvents, wantMetrics, _ := observe(t, ts1.URL, "a")
+	crash(s1, ts1)
+
+	// Fault-injector RNG position can't be captured, so no snapshot may
+	// exist even at snapshot-every=1 — recovery must be exact full replay.
+	if _, err := os.Stat(durable.SnapPath(dir, "a")); !os.IsNotExist(err) {
+		t.Fatalf("faulted session wrote a snapshot (err=%v)", err)
+	}
+	s2, ts2 := newPersistServer(t, dir, 1)
+	resp, info := do(t, "GET", ts2.URL+"/sessions/a", "")
+	if resp.StatusCode != 200 || !strings.Contains(info, `"recovered_mode":"replay"`) {
+		t.Fatalf("info = %d %s, want replay mode", resp.StatusCode, info)
+	}
+	gotEvents, gotMetrics, _ := observe(t, ts2.URL, "a")
+	if gotEvents != wantEvents {
+		t.Error("faulted session /events not byte-identical after replay")
+	}
+	if gotMetrics != wantMetrics {
+		t.Error("faulted session /metrics not byte-identical after replay")
+	}
+	_ = s2
+}
+
+func TestDestroyRemovesPersistedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	driveLoad(t, ts1.URL, "a")
+	if resp, _ := do(t, "DELETE", ts1.URL+"/sessions/a", ""); resp.StatusCode != 200 {
+		t.Fatal("destroy failed")
+	}
+	for _, p := range []string{durable.WALPath(dir, "a"), durable.SnapPath(dir, "a")} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived destroy (err=%v)", p, err)
+		}
+	}
+	crash(s1, ts1)
+	s2, _ := newPersistServer(t, dir, 1)
+	if got := s2.recoveredSessions.Load(); got != 0 {
+		t.Errorf("destroyed session resurrected (%d recovered)", got)
+	}
+}
+
+func TestPersistStatusSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	driveLoad(t, ts1.URL, "a")
+	_, info := do(t, "GET", ts1.URL+"/sessions/a", "")
+	for _, want := range []string{`"persisted_seq"`, `"snapshot_seq"`, `"snapshot_age_sec"`, `"failed":false`} {
+		if !strings.Contains(info, want) {
+			t.Errorf("session info missing %s: %s", want, info)
+		}
+	}
+	_, hz := do(t, "GET", ts1.URL+"/healthz", "")
+	for _, want := range []string{`"enabled":true`, `"snapshots"`, `"recovered_sessions"`, `"quarantined_files"`} {
+		if !strings.Contains(hz, want) {
+			t.Errorf("healthz missing %s: %s", want, hz)
+		}
+	}
+	if s1.snapshotsTotal.Load() == 0 {
+		t.Error("no snapshots written at snapshot-every=1")
+	}
+	// A session.persist event reached the server recorder.
+	found := false
+	for _, ev := range s1.rec.Events() {
+		if ev.Type == events.SessionPersist {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no session.persist event on the server recorder")
+	}
+	// Ephemeral servers advertise persistence off.
+	_, ts2 := newServer(t)
+	if _, hz := do(t, "GET", ts2.URL+"/healthz", ""); !strings.Contains(hz, `"enabled":false`) {
+		t.Error("ephemeral healthz claims persistence")
+	}
+}

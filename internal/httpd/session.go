@@ -14,6 +14,7 @@ import (
 
 	"kelp/internal/accel"
 	"kelp/internal/agent"
+	"kelp/internal/durable"
 	"kelp/internal/events"
 	"kelp/internal/experiments"
 	"kelp/internal/faults"
@@ -56,6 +57,23 @@ type Session struct {
 	nowBits    atomic.Uint64 // math.Float64bits of the node's sim time
 	taskCount  atomic.Int64
 	degraded   atomic.Bool
+
+	// Durability (nil/zero when the server has no PersistDir). wal and
+	// sinceSnap are guarded by mu — every append happens under the
+	// simulation lock, so the in-memory state always corresponds exactly
+	// to the WAL prefix [1, wal.Seq()]. The atomics mirror progress for
+	// the lock-free info() listing.
+	wal           *durable.WAL
+	sinceSnap     int         // records appended since the last snapshot
+	persistOn     bool        // a WAL was attached (set before pool insert, immutable)
+	snapEligible  bool        // faults disabled at create; workload may still decline
+	persistFailed atomic.Bool // an append failed: session continues ephemeral
+	persistSeq    atomic.Uint64
+	snapSeq       atomic.Uint64
+	snapAtNS      atomic.Int64
+	// Set once during boot recovery, immutable afterwards.
+	recoveredMode   string // "" | "snapshot" | "replay"
+	recoveredReplay int    // WAL records applied at recovery
 }
 
 // keepTerminalJobs bounds each session's completed-job history.
@@ -106,44 +124,6 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("httpd: session name %q: want 1-64 chars of [a-zA-Z0-9._-]", req.Name))
 		return
 	}
-	polName := req.Policy
-	if polName == "" {
-		polName = s.cfg.DefaultPolicy
-	}
-	pol, err := scenario.ParsePolicy(polName)
-	if err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	faultsSpec := req.Faults
-	if faultsSpec == "" {
-		faultsSpec = s.cfg.DefaultFaults
-	}
-	spec, err := faults.ParseSpec(faultsSpec)
-	if err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if req.SamplePeriodSec < 0 || math.IsNaN(req.SamplePeriodSec) || math.IsInf(req.SamplePeriodSec, 0) {
-		s.writeErr(w, r, http.StatusBadRequest,
-			fmt.Errorf("httpd: sample_period_sec = %v", req.SamplePeriodSec))
-		return
-	}
-	capacity := req.EventCapacity
-	if capacity <= 0 {
-		capacity = s.cfg.EventCapacity
-	}
-	nodeCfg := node.DefaultConfig()
-	if req.Seed != 0 {
-		nodeCfg.Seed = req.Seed
-	}
-	profiles := profile.NewRegistry()
-	if s.cfg.Profile != nil {
-		if err := profiles.Put(*s.cfg.Profile); err != nil {
-			s.writeErr(w, r, http.StatusInternalServerError, err)
-			return
-		}
-	}
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -175,21 +155,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[name] = nil
 	s.mu.Unlock()
 
-	opts := policy.DefaultOptions()
-	if req.SamplePeriodSec > 0 {
-		opts.SamplePeriod = req.SamplePeriodSec
-	}
-	a, err := agent.New(agent.Config{
-		Node:          nodeCfg,
-		Policy:        pol,
-		Options:       opts,
-		Profiles:      profiles,
-		EventCapacity: capacity,
-		Faults:        spec,
-	})
-	var sess *Session
-	if err == nil {
-		sess, err = newSession(s, name, pol, a)
+	sess, err := s.buildSession(req, name)
+	if err == nil && s.cfg.PersistDir != "" {
+		// The write-ahead log is born before the session is visible in the
+		// pool, so no command can race past it; the create record is
+		// durable before the 201 is sent.
+		sess.initWAL(s, req)
 	}
 	if err != nil {
 		s.mu.Lock()
@@ -217,8 +188,72 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusServiceUnavailable, fmt.Errorf("httpd: draining"))
 		return
 	}
-	s.emit(events.SessionCreate, map[string]any{"session": name, "policy": pol.String()})
+	s.emit(events.SessionCreate, map[string]any{"session": name, "policy": sess.policy.String()})
 	s.writeJSON(w, r, http.StatusCreated, sess.info(s.cfg.Clock()))
+}
+
+// buildSession constructs a session (agent, node, control-file surface,
+// worker) from a create request. It does not touch the pool map or the
+// persist dir — the live create path and boot-time recovery share it, so a
+// recovered session is built by exactly the code that built the original.
+func (s *Server) buildSession(req createSessionRequest, name string) (*Session, error) {
+	polName := req.Policy
+	if polName == "" {
+		polName = s.cfg.DefaultPolicy
+	}
+	pol, err := scenario.ParsePolicy(polName)
+	if err != nil {
+		return nil, err
+	}
+	faultsSpec := req.Faults
+	if faultsSpec == "" {
+		faultsSpec = s.cfg.DefaultFaults
+	}
+	spec, err := faults.ParseSpec(faultsSpec)
+	if err != nil {
+		return nil, err
+	}
+	if req.SamplePeriodSec < 0 || math.IsNaN(req.SamplePeriodSec) || math.IsInf(req.SamplePeriodSec, 0) {
+		return nil, fmt.Errorf("httpd: sample_period_sec = %v", req.SamplePeriodSec)
+	}
+	capacity := req.EventCapacity
+	if capacity <= 0 {
+		capacity = s.cfg.EventCapacity
+	}
+	nodeCfg := node.DefaultConfig()
+	if req.Seed != 0 {
+		nodeCfg.Seed = req.Seed
+	}
+	profiles := profile.NewRegistry()
+	if s.cfg.Profile != nil {
+		if err := profiles.Put(*s.cfg.Profile); err != nil {
+			return nil, err
+		}
+	}
+	opts := policy.DefaultOptions()
+	if req.SamplePeriodSec > 0 {
+		opts.SamplePeriod = req.SamplePeriodSec
+	}
+	a, err := agent.New(agent.Config{
+		Node:          nodeCfg,
+		Policy:        pol,
+		Options:       opts,
+		Profiles:      profiles,
+		EventCapacity: capacity,
+		Faults:        spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess, err := newSession(s, name, pol, a)
+	if err != nil {
+		return nil, err
+	}
+	// Fault injection draws from RNG streams whose position cannot be
+	// captured, so faulted sessions are recovered by full command replay
+	// (exact: the injector is seeded) rather than from snapshots.
+	sess.snapEligible = !spec.Enabled()
+	return sess, nil
 }
 
 func newSession(s *Server, name string, pol policy.Kind, a *agent.Agent) (*Session, error) {
@@ -279,7 +314,7 @@ func (sess *Session) syncDegraded(s *Server) {
 
 // info renders the lock-free status listing entry.
 func (sess *Session) info(now time.Time) map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"name":        sess.name,
 		"policy":      sess.policy.String(),
 		"now_sec":     sess.simNow(),
@@ -288,6 +323,22 @@ func (sess *Session) info(now time.Time) map[string]any {
 		"degraded":    sess.degraded.Load(),
 		"idle_sec":    now.Sub(sess.lastUsed()).Seconds(),
 	}
+	if sess.persistOn {
+		p := map[string]any{
+			"persisted_seq": sess.persistSeq.Load(),
+			"failed":        sess.persistFailed.Load(),
+		}
+		if sq := sess.snapSeq.Load(); sq > 0 {
+			p["snapshot_seq"] = sq
+			p["snapshot_age_sec"] = now.Sub(time.Unix(0, sess.snapAtNS.Load())).Seconds()
+		}
+		if sess.recoveredMode != "" {
+			p["recovered_mode"] = sess.recoveredMode
+			p["recovered_replayed"] = sess.recoveredReplay
+		}
+		out["persist"] = p
+	}
+	return out
 }
 
 // shutdown cancels outstanding work, stops the worker, flushes the
@@ -337,6 +388,23 @@ drain:
 	s.sessionsLive.Add(-1)
 	if s.cfg.EventsDir != "" {
 		sess.flushEvents(s.cfg.EventsDir)
+	}
+	// Persistence teardown. The worker is dead and admission handlers see
+	// stopped, so appends have ceased. An explicit destroy (api) and a TTL
+	// eviction delete the session's files — a destroyed session must not
+	// resurrect at the next boot. Drain keeps them (surviving a restart is
+	// the whole point) after one final snapshot attempt.
+	if sess.wal != nil {
+		if reason == "drain" {
+			sess.snapshotNow(s, true)
+		}
+		sess.mu.Lock()
+		sess.wal.Close()
+		sess.wal = nil
+		sess.mu.Unlock()
+		if reason != "drain" {
+			_ = durable.RemoveSession(s.cfg.PersistDir, sess.name)
+		}
 	}
 	s.emit(events.SessionDestroy, map[string]any{
 		"session": sess.name, "reason": reason, "jobs_canceled": canceled,
@@ -445,12 +513,25 @@ func handleTasksPost(s *Server, sess *Session, w http.ResponseWriter, r *http.Re
 		return
 	}
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	// Log-before-apply: the admission is durable before any state mutates
+	// and before the response is visible. Failed admissions are logged too
+	// — the outcome is a deterministic function of session state, and a
+	// rejection's agent.reject event must reappear on replay.
+	sess.logAdmit(s, req)
+	status, body := sess.applyAdmit(s, req)
+	sess.mu.Unlock()
+	s.writeJSON(w, r, status, body)
+}
+
+// applyAdmit admits one task (ML or batch), mutating session state under
+// sess.mu (held by the caller) and returning the HTTP status and response
+// body. Boot-time recovery replays logged admissions through this same
+// function, so live and replayed admissions take identical code paths.
+func (sess *Session) applyAdmit(s *Server, req admitRequest) (int, any) {
 	if req.ML != "" {
 		ml, err := scenario.ParseML(req.ML)
 		if err != nil {
-			s.writeErr(w, r, http.StatusBadRequest, err)
-			return
+			return http.StatusBadRequest, errBody(err)
 		}
 		cores := req.Cores
 		if cores == 0 {
@@ -458,34 +539,32 @@ func handleTasksPost(s *Server, sess *Session, w http.ResponseWriter, r *http.Re
 		}
 		task, err := buildMLTask(sess.agent, ml, cores)
 		if err != nil {
-			s.writeErr(w, r, http.StatusConflict, err)
-			return
+			return http.StatusConflict, errBody(err)
 		}
 		sess.taskCount.Add(1)
 		sess.syncDegraded(s)
-		s.writeJSON(w, r, http.StatusCreated, map[string]string{"admitted": task})
-		return
+		return http.StatusCreated, map[string]string{"admitted": task}
 	}
 	spec := scenario.Spec{ML: "CNN1", Policy: "BL", CPU: []scenario.TaskSpec{req.TaskSpec}}
 	resolved, err := spec.Resolve()
 	if err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, err)
-		return
+		return http.StatusBadRequest, errBody(err)
 	}
 	sess.seq++
 	task, err := experiments.NewCPUTask(resolved.CPU[0], sess.seq,
 		sess.agent.Node().Config().Memory.LLCSize)
 	if err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, err)
-		return
+		return http.StatusBadRequest, errBody(err)
 	}
 	if err := sess.agent.AdmitBatch(task); err != nil {
-		s.writeErr(w, r, http.StatusConflict, err)
-		return
+		return http.StatusConflict, errBody(err)
 	}
 	sess.taskCount.Add(1)
-	s.writeJSON(w, r, http.StatusCreated, map[string]string{"admitted": task.Name()})
+	return http.StatusCreated, map[string]string{"admitted": task.Name()}
 }
+
+// errBody matches writeErr's JSON shape for handlers that return bodies.
+func errBody(err error) map[string]string { return map[string]string{"error": err.Error()} }
 
 // buildMLTask constructs and admits the accelerated task via the agent.
 func buildMLTask(a *agent.Agent, ml experiments.MLKind, cores int) (string, error) {
@@ -609,11 +688,12 @@ func serveEvents(s *Server, rec *events.Recorder, w http.ResponseWriter, r *http
 }
 
 func handleFS(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	path := "/" + strings.TrimSuffix(r.PathValue("path"), "/")
+	raw := r.PathValue("path")
 	switch r.Method {
 	case http.MethodGet:
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		path := "/" + strings.TrimSuffix(raw, "/")
 		// Try as a file, fall back to directory listing.
 		if data, err := sess.fs.ReadFile(path); err == nil {
 			w.Header().Set("Content-Type", "text/plain")
@@ -626,30 +706,48 @@ func handleFS(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) 
 			return
 		}
 		s.writeJSON(w, r, http.StatusOK, entries)
-	case http.MethodPut:
-		body, err := readBody(r)
-		if err != nil {
-			s.writeErr(w, r, http.StatusBadRequest, err)
-			return
+	case http.MethodPut, http.MethodPost, http.MethodDelete:
+		var body []byte
+		if r.Method == http.MethodPut {
+			var err error
+			if body, err = readBody(r); err != nil {
+				s.writeErr(w, r, http.StatusBadRequest, err)
+				return
+			}
 		}
-		if err := sess.fs.WriteFile(path, string(body)); err != nil {
-			s.writeErr(w, r, http.StatusBadRequest, err)
-			return
-		}
-		s.writeJSON(w, r, http.StatusOK, map[string]string{"written": path})
-	case http.MethodPost:
-		if err := sess.fs.Mkdir(path); err != nil {
-			s.writeErr(w, r, http.StatusBadRequest, err)
-			return
-		}
-		s.writeJSON(w, r, http.StatusCreated, map[string]string{"created": path})
-	case http.MethodDelete:
-		if err := sess.fs.Rmdir(path); err != nil {
-			s.writeErr(w, r, http.StatusBadRequest, err)
-			return
-		}
-		s.writeJSON(w, r, http.StatusOK, map[string]string{"removed": path})
+		sess.mu.Lock()
+		// Log-before-apply, like task admission: control-file writes steer
+		// the simulation, so they are part of the replayed command stream.
+		sess.logFS(s, r.Method, raw, body)
+		status, out := sess.applyFS(r.Method, raw, body)
+		sess.mu.Unlock()
+		s.writeJSON(w, r, status, out)
 	default:
 		s.writeErr(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
 	}
+}
+
+// applyFS executes one mutating control-file request under sess.mu (held
+// by the caller). Recovery replays logged fs records through this same
+// function.
+func (sess *Session) applyFS(method, raw string, body []byte) (int, any) {
+	path := "/" + strings.TrimSuffix(raw, "/")
+	switch method {
+	case http.MethodPut:
+		if err := sess.fs.WriteFile(path, string(body)); err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+		return http.StatusOK, map[string]string{"written": path}
+	case http.MethodPost:
+		if err := sess.fs.Mkdir(path); err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+		return http.StatusCreated, map[string]string{"created": path}
+	case http.MethodDelete:
+		if err := sess.fs.Rmdir(path); err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+		return http.StatusOK, map[string]string{"removed": path}
+	}
+	return http.StatusMethodNotAllowed, errBody(fmt.Errorf("method %s", method))
 }

@@ -1,0 +1,44 @@
+package memsys
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Resolution carries two unexported bookkeeping fields (cps, seq) alongside
+// its exported result slices, so the default gob encoding would silently
+// drop them and break the indexed accessors after a process restart. The
+// explicit hooks carry everything.
+
+type resolutionWire struct {
+	Flows              []FlowResult
+	Controllers        []ControllerState
+	SocketBackpressure []float64
+	SocketSnoop        []float64
+	Links              []LinkState
+	CPS                int
+	Seq                uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *Resolution) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(resolutionWire{
+		Flows: r.Flows, Controllers: r.Controllers,
+		SocketBackpressure: r.SocketBackpressure, SocketSnoop: r.SocketSnoop,
+		Links: r.Links, CPS: r.cps, Seq: r.seq,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *Resolution) GobDecode(data []byte) error {
+	var w resolutionWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	r.Flows, r.Controllers = w.Flows, w.Controllers
+	r.SocketBackpressure, r.SocketSnoop = w.SocketBackpressure, w.SocketSnoop
+	r.Links, r.cps, r.seq = w.Links, w.CPS, w.Seq
+	return nil
+}

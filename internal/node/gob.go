@@ -1,0 +1,51 @@
+package node
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"kelp/internal/cgroup"
+	"kelp/internal/memsys"
+	"kelp/internal/perfmon"
+	"kelp/internal/sim"
+)
+
+// Snapshot keeps its fields unexported (it is an opaque handle between
+// Node.Snapshot and Node.Restore), so the durability layer needs explicit
+// gob hooks to persist one across a process restart. Task states are `any`
+// values whose concrete types register themselves with gob in the workload
+// package.
+
+type snapshotWire struct {
+	Engine   sim.EngineState
+	Prefetch []bool
+	Groups   []cgroup.GroupState
+	Monitor  perfmon.State
+	MemLast  *memsys.Resolution
+	Distress map[int]float64
+	Names    []string
+	Tasks    []any
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Snapshot) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapshotWire{
+		Engine: s.engine, Prefetch: s.prefetch, Groups: s.groups,
+		Monitor: s.monitor, MemLast: s.memLast, Distress: s.distress,
+		Names: s.names, Tasks: s.tasks,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.engine, s.prefetch, s.groups = w.Engine, w.Prefetch, w.Groups
+	s.monitor, s.memLast, s.distress = w.Monitor, w.MemLast, w.Distress
+	s.names, s.tasks = w.Names, w.Tasks
+	return nil
+}

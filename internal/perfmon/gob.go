@@ -1,0 +1,80 @@
+package perfmon
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// State keeps its fields unexported (it is an opaque snapshot handle), so
+// crossing a process restart requires explicit gob hooks. Accumulators are
+// flattened to plain float64 slices; gob moves float64 values by bit
+// pattern, so the restored monitor reproduces the exact same averages.
+
+type stateWire struct {
+	Sockets, CPS int
+	Elapsed      float64
+	BW, Offered  []float64
+	Lat, Sat, BP []float64
+	CtlBW        [][]float64
+	CtlLat       [][]float64
+	TotalBytes   []float64
+}
+
+func accsToFloats(a []acc) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v.sum
+	}
+	return out
+}
+
+func accsToFloats2(a [][]acc) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = accsToFloats(a[i])
+	}
+	return out
+}
+
+func floatsToAccs(f []float64) []acc {
+	out := make([]acc, len(f))
+	for i, v := range f {
+		out[i] = acc{sum: v}
+	}
+	return out
+}
+
+func floatsToAccs2(f [][]float64) [][]acc {
+	out := make([][]acc, len(f))
+	for i := range f {
+		out[i] = floatsToAccs(f[i])
+	}
+	return out
+}
+
+// GobEncode implements gob.GobEncoder.
+func (st State) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(stateWire{
+		Sockets: st.sockets, CPS: st.cps, Elapsed: st.elapsed.sum,
+		BW: accsToFloats(st.bw), Offered: accsToFloats(st.offered),
+		Lat: accsToFloats(st.lat), Sat: accsToFloats(st.sat), BP: accsToFloats(st.bp),
+		CtlBW: accsToFloats2(st.ctlBW), CtlLat: accsToFloats2(st.ctlLat),
+		TotalBytes: st.totalBytes,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (st *State) GobDecode(data []byte) error {
+	var w stateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	st.sockets, st.cps, st.elapsed = w.Sockets, w.CPS, acc{sum: w.Elapsed}
+	st.bw, st.offered = floatsToAccs(w.BW), floatsToAccs(w.Offered)
+	st.lat, st.sat, st.bp = floatsToAccs(w.Lat), floatsToAccs(w.Sat), floatsToAccs(w.BP)
+	st.ctlBW, st.ctlLat = floatsToAccs2(w.CtlBW), floatsToAccs2(w.CtlLat)
+	st.totalBytes = w.TotalBytes
+	return nil
+}

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"kelp/internal/core"
+)
+
+// ThrottlerState and MBAState are opaque snapshot handles with unexported
+// fields; explicit gob hooks let the durability layer persist them across a
+// process restart. core.Guard provides its own hooks, so the nested degrade
+// guard round-trips exactly.
+
+type degradeWire struct {
+	Name  string
+	Guard core.Guard
+}
+
+type throttlerStateWire struct {
+	Cur     int
+	Deg     degradeWire
+	History []ThrottlerDecision
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s ThrottlerState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(throttlerStateWire{
+		Cur: s.cur, Deg: degradeWire{Name: s.deg.name, Guard: s.deg.guard},
+		History: s.history,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *ThrottlerState) GobDecode(data []byte) error {
+	var w throttlerStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.cur = w.Cur
+	s.deg = degradeState{name: w.Deg.Name, guard: w.Deg.Guard}
+	s.history = w.History
+	return nil
+}
+
+type mbaStateWire struct {
+	Cur     int
+	Deg     degradeWire
+	History []MBADecision
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s MBAState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(mbaStateWire{
+		Cur: s.cur, Deg: degradeWire{Name: s.deg.name, Guard: s.deg.guard},
+		History: s.history,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *MBAState) GobDecode(data []byte) error {
+	var w mbaStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.cur = w.Cur
+	s.deg = degradeState{name: w.Deg.Name, guard: w.Deg.Guard}
+	s.history = w.History
+	return nil
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"kelp/internal/metrics"
+)
+
+// Task snapshot states travel inside `any` slots of the node-level snapshot,
+// so the durability layer's gob stream needs (a) each concrete state type
+// registered under a stable wire name and (b) explicit encode/decode hooks,
+// because the state structs keep their fields unexported. The names below
+// are part of the on-disk snapshot format — do not rename them.
+
+func init() {
+	gob.RegisterName("kelp/workload.loopState", loopState{})
+	gob.RegisterName("kelp/workload.trainingState", trainingState{})
+	gob.RegisterName("kelp/workload.inferenceState", inferenceState{})
+}
+
+type loopStateWire struct {
+	Partial float64
+	Units   metrics.Meter
+	Threads int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s loopState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(loopStateWire{
+		Partial: s.partial, Units: s.units, Threads: s.threads,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *loopState) GobDecode(data []byte) error {
+	var w loopStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.partial, s.units, s.threads = w.Partial, w.Units, w.Threads
+	return nil
+}
+
+type trainingStateWire struct {
+	Phase     int
+	Remaining float64
+	Steps     metrics.Meter
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s trainingState) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(trainingStateWire{
+		Phase: s.phase, Remaining: s.remaining, Steps: s.steps,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *trainingState) GobDecode(data []byte) error {
+	var w trainingStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.phase, s.remaining, s.steps = w.Phase, w.Remaining, w.Steps
+	return nil
+}
+
+type requestWire struct {
+	Arrival   float64
+	Iter      int
+	Phase     int
+	Remaining float64
+	AccelDone float64
+}
+
+type inferenceStateWire struct {
+	NextArrival float64
+	Queued      []float64
+	Inflight    []requestWire
+	Completed   metrics.Meter
+	Latency     *metrics.Histogram
+	Window      *metrics.Histogram
+	Dropped     uint64
+	DeviceBusy  float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s inferenceState) GobEncode() ([]byte, error) {
+	w := inferenceStateWire{
+		NextArrival: s.nextArrival, Queued: s.queued,
+		Inflight:  make([]requestWire, len(s.inflight)),
+		Completed: s.completed, Latency: s.latency, Window: s.window,
+		Dropped: s.dropped, DeviceBusy: s.deviceBusy,
+	}
+	for i, q := range s.inflight {
+		w.Inflight[i] = requestWire{
+			Arrival: q.arrival, Iter: q.iter, Phase: int(q.phase),
+			Remaining: q.remaining, AccelDone: q.accelDone,
+		}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *inferenceState) GobDecode(data []byte) error {
+	var w inferenceStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.nextArrival, s.queued = w.NextArrival, w.Queued
+	s.inflight = make([]request, len(w.Inflight))
+	for i, q := range w.Inflight {
+		s.inflight[i] = request{
+			arrival: q.Arrival, iter: q.Iter, phase: reqPhase(q.Phase),
+			remaining: q.Remaining, accelDone: q.AccelDone,
+		}
+	}
+	s.completed, s.latency, s.window = w.Completed, w.Latency, w.Window
+	s.dropped, s.deviceBusy = w.Dropped, w.DeviceBusy
+	return nil
+}
