@@ -164,10 +164,14 @@ const (
 	// boot. Fields: session, mode (snapshot | replay), seq, replayed (WAL
 	// records applied), sim_time.
 	SessionRestore Type = "session.restore"
-	// ServerRecover records one recovery incident at boot: a torn WAL tail
-	// salvaged, or a corrupt snapshot/WAL quarantined. The server keeps
-	// booting; the damaged file moves to <persist>/quarantine. Fields:
-	// session, file, reason, and action (salvaged | quarantined | dropped).
+	// ServerRecover records one durability incident: at boot, a torn WAL
+	// tail salvaged, a corrupt snapshot/WAL quarantined, or a session
+	// skipped because the pool is full; mid-run, a session whose
+	// persistence was poisoned by a failed append (its stale files are
+	// quarantined so they cannot resurrect at the next boot). The server
+	// keeps running; damaged files move to <persist>/quarantine. Fields:
+	// session, file, reason, and action (salvaged | quarantined | dropped |
+	// skipped).
 	ServerRecover Type = "server.recover"
 )
 

@@ -395,17 +395,28 @@ func (s *Server) EvictIdle() []string {
 	}
 	now := s.cfg.Clock()
 	var idle []*Session
-	s.mu.Lock()
-	for name, sess := range s.sessions {
+	s.mu.RLock()
+	for _, sess := range s.sessions {
 		// nil marks a name reserved by an in-flight create; skip it.
 		if sess != nil && now.Sub(sess.lastUsed()) > s.cfg.SessionTTL {
-			delete(s.sessions, name)
 			idle = append(idle, sess)
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	names := make([]string, 0, len(idle))
 	for _, sess := range idle {
+		// Files first, then the name (see retirePersist): once the name is
+		// free a same-name create may write a fresh WAL, and a removal after
+		// that would unlink the new incarnation's files.
+		sess.retirePersist()
+		s.mu.Lock()
+		if s.sessions[sess.name] != sess {
+			// A concurrent destroy won the map race and owns the teardown.
+			s.mu.Unlock()
+			continue
+		}
+		delete(s.sessions, sess.name)
+		s.mu.Unlock()
 		sess.shutdown("ttl")
 		names = append(names, sess.name)
 	}

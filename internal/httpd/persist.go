@@ -68,8 +68,7 @@ func (sess *Session) appendLocked(s *Server, rec durable.Record) {
 	}
 	rec.Seq = sess.wal.Seq() + 1
 	if err := sess.wal.Append(rec); err != nil {
-		sess.persistFailed.Store(true)
-		s.persistErrors.Add(1)
+		sess.poisonPersist(s, "append failed: "+err.Error())
 		return
 	}
 	sess.persistSeq.Store(rec.Seq)
@@ -82,11 +81,68 @@ func (sess *Session) logAdmit(s *Server, req admitRequest) {
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		sess.persistFailed.Store(true)
-		s.persistErrors.Add(1)
+		sess.poisonPersist(s, "admit record encode failed: "+err.Error())
 		return
 	}
 	sess.appendLocked(s, durable.Record{Kind: durable.KindAdmit, Admit: body})
+}
+
+// retirePersist removes the session's persist files. It MUST run before
+// the session's name is released from the pool map: once the name is free
+// a new session can create <name>.wal, and a removal after that would
+// unlink the new incarnation's files — fsynced, client-acked commands
+// would silently vanish at the next restart. persistMu makes the removal
+// mutually exclusive with an in-flight snapshot write, so a racing rename
+// can't resurrect <name>.snap after the files are gone. Idempotent.
+func (sess *Session) retirePersist() {
+	s := sess.srv
+	if s.cfg.PersistDir == "" {
+		return
+	}
+	sess.persistMu.Lock()
+	defer sess.persistMu.Unlock()
+	if sess.persistGone {
+		return
+	}
+	sess.persistGone = true
+	_ = durable.RemoveSession(s.cfg.PersistDir, sess.name)
+}
+
+// poisonPersist marks the session's persistence broken and quarantines its
+// on-disk files. Leaving the stale WAL/snapshot in place would let the
+// next boot silently resurrect the session from a prefix that drops every
+// command acked after the failure, so the files move to <dir>/quarantine
+// as evidence (with a server.recover event naming the reason) and the
+// session continues ephemeral. Safe under sess.mu; idempotent.
+func (sess *Session) poisonPersist(s *Server, reason string) {
+	if !sess.persistFailed.CompareAndSwap(false, true) {
+		return
+	}
+	s.persistErrors.Add(1)
+	sess.persistMu.Lock()
+	defer sess.persistMu.Unlock()
+	if sess.persistGone {
+		return
+	}
+	sess.persistGone = true
+	for _, p := range []string{
+		durable.WALPath(s.cfg.PersistDir, sess.name),
+		durable.SnapPath(s.cfg.PersistDir, sess.name),
+	} {
+		if _, err := os.Stat(p); err != nil {
+			continue
+		}
+		if _, err := durable.Quarantine(s.cfg.PersistDir, p); err != nil {
+			// A stale file that resurrects is worse than lost evidence.
+			_ = os.Remove(p)
+			continue
+		}
+		s.quarantinedFiles.Add(1)
+	}
+	s.emit(events.ServerRecover, map[string]any{
+		"session": sess.name, "file": sess.name + ".wal",
+		"reason": "persistence poisoned: " + reason, "action": "quarantined",
+	})
 }
 
 func (sess *Session) logFS(s *Server, method, rawPath string, body []byte) {
@@ -153,17 +209,32 @@ func (sess *Session) snapshotNow(s *Server, force bool) {
 		return
 	}
 	snap, ok := sess.captureLocked()
-	if ok {
-		sess.sinceSnap = 0
-	}
+	pending := sess.sinceSnap
 	sess.mu.Unlock()
 	if !ok {
 		return
 	}
-	if err := durable.WriteSnapshot(durable.SnapPath(s.cfg.PersistDir, sess.name), snap); err != nil {
+	// persistMu excludes retirePersist: without it a destroy/evict could
+	// remove the files between capture and rename, and the rename would
+	// then resurrect a .snap for a name that may already be reused.
+	sess.persistMu.Lock()
+	if sess.persistGone {
+		sess.persistMu.Unlock()
+		return
+	}
+	err := durable.WriteSnapshot(durable.SnapPath(s.cfg.PersistDir, sess.name), snap)
+	sess.persistMu.Unlock()
+	if err != nil {
+		// The WAL is intact, so recovery stays exact (replay past the last
+		// good snapshot) — a failed write does not poison persistence. The
+		// capture didn't consume sinceSnap, so the next due check retries
+		// immediately instead of waiting out a fresh SnapshotEvery window.
 		s.persistErrors.Add(1)
 		return
 	}
+	sess.mu.Lock()
+	sess.sinceSnap -= pending // appends since the capture count toward the next snapshot
+	sess.mu.Unlock()
 	sess.snapSeq.Store(snap.Seq)
 	sess.snapAtNS.Store(s.cfg.Clock().UnixNano())
 	s.snapshotsTotal.Add(1)
@@ -197,6 +268,20 @@ func (s *Server) recoverSessions() error {
 		s.quarantineFile(name, p, "snapshot without a log")
 	}
 	for _, e := range entries {
+		// A restart with a lowered -max-sessions (or a persist dir grown
+		// under a higher limit) must not boot over the configured bound.
+		// ScanDir sorts by name, so the first MaxSessions names recover and
+		// the rest are skipped with their files left in place — a later boot
+		// with a larger pool can still pick them up, but their names are
+		// unclaimed, so a same-name create overwrites the skipped history.
+		s.mu.RLock()
+		full := len(s.sessions) >= s.cfg.MaxSessions
+		s.mu.RUnlock()
+		if full {
+			s.recoverIncident(e.Session, filepath.Base(e.WALPath),
+				fmt.Sprintf("session pool full (%d)", s.cfg.MaxSessions), "skipped")
+			continue
+		}
 		s.recoverSession(e)
 	}
 	return nil
@@ -307,9 +392,11 @@ func (s *Server) recoverSession(e durable.ScanEntry) {
 	}
 	w, err := durable.OpenWAL(e.WALPath, trunc, lastSeq)
 	if err != nil {
-		// Recovered in memory but can't keep logging: run ephemeral.
-		s.persistErrors.Add(1)
-		sess.persistFailed.Store(true)
+		// Recovered in memory but can't keep logging: run ephemeral. The
+		// on-disk prefix goes stale the moment the next command is acked,
+		// so poison quarantines it rather than letting a later boot
+		// resurrect it as healthy.
+		sess.poisonPersist(s, "log reopen failed: "+err.Error())
 	} else {
 		sess.wal = w
 	}

@@ -1,12 +1,17 @@
 package httpd
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"kelp/internal/durable"
 	"kelp/internal/events"
@@ -326,6 +331,266 @@ func TestDestroyRemovesPersistedFiles(t *testing.T) {
 	s2, _ := newPersistServer(t, dir, 1)
 	if got := s2.recoveredSessions.Load(); got != 0 {
 		t.Errorf("destroyed session resurrected (%d recovered)", got)
+	}
+}
+
+// TestPoisonQuarantinesStaleFiles: once an append fails, the session's
+// on-disk prefix is a lie — everything acked afterwards is missing from
+// it. Poisoning must quarantine the files so a restart cannot silently
+// resurrect the session from that stale prefix.
+func TestPoisonQuarantinesStaleFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	driveLoad(t, ts1.URL, "a")
+	s1.mu.RLock()
+	sess := s1.sessions["a"]
+	s1.mu.RUnlock()
+	// Force the next append to fail by closing the log's file underneath.
+	sess.mu.Lock()
+	sess.wal.Close()
+	sess.mu.Unlock()
+	resp, body := do(t, "POST", ts1.URL+"/sessions/a/tasks", `{"kind":"Stitch"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit after poisoning = %d %s (session must continue ephemeral)", resp.StatusCode, body)
+	}
+	_, info := do(t, "GET", ts1.URL+"/sessions/a", "")
+	if !strings.Contains(info, `"failed":true`) {
+		t.Errorf("session info does not surface the poisoned state: %s", info)
+	}
+	for _, p := range []string{durable.WALPath(dir, "a"), durable.SnapPath(dir, "a")} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s still in the persist dir after poisoning (err=%v)", p, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.QuarantineDirName, "a.wal")); err != nil {
+		t.Errorf("poisoned log not preserved in quarantine: %v", err)
+	}
+	if !hasRecoverEvent(s1, "quarantined") {
+		t.Error("no server.recover event for the poisoning")
+	}
+	crash(s1, ts1)
+	s2, ts2 := newPersistServer(t, dir, 1)
+	if got := s2.recoveredSessions.Load(); got != 0 {
+		t.Errorf("poisoned session resurrected (%d recovered)", got)
+	}
+	if resp, _ := do(t, "GET", ts2.URL+"/sessions/a", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("poisoned session answered after restart")
+	}
+}
+
+// TestSnapshotWriteFailureRetriesPromptly: a failed snapshot write must
+// not poison persistence (the WAL is intact) and must not defer the next
+// attempt by a full SnapshotEvery window — the records captured by the
+// failed attempt still count, so the write is retried at the next due
+// check.
+func TestSnapshotWriteFailureRetriesPromptly(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newServerCfg(t, Config{PersistDir: dir, SnapshotEvery: 4})
+	base := ts1.URL + "/sessions/a"
+	for _, step := range []struct{ method, url, body string }{
+		{"POST", ts1.URL + "/sessions", `{"name":"a","seed":7}`},
+		{"POST", base + "/tasks", `{"ml":"CNN1","cores":2}`},
+		{"POST", base + "/tasks", `{"kind":"Stitch"}`},
+		{"POST", base + "/tasks", `{"kind":"Stream","threads":2}`},
+	} {
+		if resp, body := do(t, step.method, step.url, step.body); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s %s = %d %s", step.method, step.url, resp.StatusCode, body)
+		}
+	}
+	// Block the snapshot path: the atomic rename cannot land on a directory.
+	if err := os.Mkdir(durable.SnapPath(dir, "a"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Advance A crosses the threshold (4 records) and the post-job snapshot
+	// fails; advance B running proves attempt A completed.
+	for i := 0; i < 2; i++ {
+		if resp, body := do(t, "POST", base+"/advance", `{"ms":100,"wait":true}`); resp.StatusCode != 200 {
+			t.Fatalf("advance = %d %s", resp.StatusCode, body)
+		}
+	}
+	if s1.persistErrors.Load() == 0 {
+		t.Fatal("failed snapshot write not counted in persist_errors")
+	}
+	if s1.snapshotsTotal.Load() != 0 {
+		t.Fatal("snapshot reported written while the path was blocked")
+	}
+	if _, info := do(t, "GET", base, ""); !strings.Contains(info, `"failed":false`) {
+		t.Errorf("snapshot failure poisoned persistence: %s", info)
+	}
+	// Unblock and advance twice more: the first advance's post-job check is
+	// already due (the failed attempts didn't consume the record count), and
+	// the second one running proves that attempt completed.
+	if err := os.Remove(durable.SnapPath(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if resp, body := do(t, "POST", base+"/advance", `{"ms":100,"wait":true}`); resp.StatusCode != 200 {
+			t.Fatalf("advance = %d %s", resp.StatusCode, body)
+		}
+	}
+	if s1.snapshotsTotal.Load() == 0 {
+		t.Error("snapshot not retried at the next due check after the write failure")
+	}
+}
+
+// TestRecoveryRespectsMaxSessions: a restart with a lowered -max-sessions
+// must not boot over its bound; the excess sessions are skipped with a
+// server.recover event and their files stay on disk.
+func TestRecoveryRespectsMaxSessions(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, -1)
+	for _, n := range []string{"a", "b", "c"} {
+		mkSession(t, ts1.URL, n)
+	}
+	crash(s1, ts1)
+
+	s2, ts2 := newServerCfg(t, Config{PersistDir: dir, MaxSessions: 2})
+	if got := s2.recoveredSessions.Load(); got != 2 {
+		t.Fatalf("recovered %d sessions, want 2 (the configured bound)", got)
+	}
+	if !hasRecoverEvent(s2, "skipped") {
+		t.Error("no server.recover event with action=skipped for the excess session")
+	}
+	// Name order: a and b recover, c is skipped with its files intact.
+	if resp, _ := do(t, "GET", ts2.URL+"/sessions/c", ""); resp.StatusCode != http.StatusNotFound {
+		t.Error("skipped session answered")
+	}
+	if _, err := os.Stat(durable.WALPath(dir, "c")); err != nil {
+		t.Errorf("skipped session's log removed from disk: %v", err)
+	}
+	// The pool is genuinely at its bound.
+	if resp, _ := do(t, "POST", ts2.URL+"/sessions", `{"name":"d"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("pool accepted a session past the bound after recovery")
+	}
+}
+
+// TestDestroyRecreateRaceKeepsNewWAL churns destroy-vs-create of one name
+// under -race: the old incarnation's teardown must remove its files before
+// the name is released, so it can never unlink a WAL the new incarnation
+// just created (which would silently drop acked commands at restart).
+func TestDestroyRecreateRaceKeepsNewWAL(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, 1)
+	client := ts1.Client()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, err := http.NewRequest("DELETE", ts1.URL+"/sessions/a", nil)
+			if err != nil {
+				return
+			}
+			if resp, err := client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		resp, err := client.Post(ts1.URL+"/sessions", "application/json",
+			strings.NewReader(`{"name":"a","seed":7}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Invariant: a live session with healthy persistence has its WAL on
+	// disk, whatever interleaving the churn produced.
+	s1.mu.RLock()
+	sess := s1.sessions["a"]
+	s1.mu.RUnlock()
+	if sess != nil && sess.persistOn && !sess.persistFailed.Load() {
+		if _, err := os.Stat(durable.WALPath(dir, "a")); err != nil {
+			t.Fatalf("live session's WAL missing after destroy/create churn: %v", err)
+		}
+	}
+
+	// End to end: settle on one final incarnation, ack a command, crash —
+	// the recovered session must match it byte for byte.
+	do(t, "DELETE", ts1.URL+"/sessions/a", "") // ignore outcome: may already be gone
+	if resp, body := do(t, "POST", ts1.URL+"/sessions", `{"name":"a","seed":7}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("settle create = %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do(t, "POST", ts1.URL+"/sessions/a/advance", `{"ms":200,"wait":true}`); resp.StatusCode != 200 {
+		t.Fatalf("settle advance = %d %s", resp.StatusCode, body)
+	}
+	wantEvents, wantMetrics, _ := observe(t, ts1.URL, "a")
+	crash(s1, ts1)
+	s2, ts2 := newPersistServer(t, dir, 1)
+	if got := s2.recoveredSessions.Load(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+	gotEvents, gotMetrics, _ := observe(t, ts2.URL, "a")
+	if gotEvents != wantEvents || gotMetrics != wantMetrics {
+		t.Error("final incarnation not byte-identical after crash")
+	}
+}
+
+// TestDrainCreateRaceLeavesNoGhosts: a create that loses the race with
+// drain answers 503 and the session never existed publicly — its
+// just-born WAL must not survive to resurrect a ghost at the next boot.
+// Recovered sessions must be exactly the acknowledged ones.
+func TestDrainCreateRaceLeavesNoGhosts(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newPersistServer(t, dir, -1)
+	client := ts1.Client()
+	var mu sync.Mutex
+	acked := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				name := fmt.Sprintf("g-%d-%d", w, j)
+				resp, err := client.Post(ts1.URL+"/sessions", "application/json",
+					strings.NewReader(`{"name":"`+name+`"}`))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusCreated {
+					mu.Lock()
+					acked[name] = true
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond) // let some creates land, then drain mid-storm
+	s1.Drain(context.Background())
+	wg.Wait()
+	ts1.Close()
+
+	s2, _ := newPersistServer(t, dir, -1)
+	recovered := map[string]bool{}
+	s2.mu.RLock()
+	for name, sess := range s2.sessions {
+		if sess != nil {
+			recovered[name] = true
+		}
+	}
+	s2.mu.RUnlock()
+	for name := range recovered {
+		if !acked[name] {
+			t.Errorf("ghost session %q: recovered but its create was never acknowledged", name)
+		}
+	}
+	for name := range acked {
+		if !recovered[name] {
+			t.Errorf("acked session %q lost across drain + restart", name)
+		}
 	}
 }
 

@@ -68,9 +68,15 @@ type Session struct {
 	persistOn     bool        // a WAL was attached (set before pool insert, immutable)
 	snapEligible  bool        // faults disabled at create; workload may still decline
 	persistFailed atomic.Bool // an append failed: session continues ephemeral
-	persistSeq    atomic.Uint64
-	snapSeq       atomic.Uint64
-	snapAtNS      atomic.Int64
+	// persistMu serializes snapshot disk writes against persist-file
+	// retirement (destroy/eviction/poisoning). It is only ever taken after
+	// sess.mu is released or while holding it (sess.mu → persistMu), never
+	// the other way around.
+	persistMu   sync.Mutex
+	persistGone bool // guarded by persistMu: files removed/quarantined, never write again
+	persistSeq  atomic.Uint64
+	snapSeq     atomic.Uint64
+	snapAtNS    atomic.Int64
 	// Set once during boot recovery, immutable afterwards.
 	recoveredMode   string // "" | "snapshot" | "replay"
 	recoveredReplay int    // WAL records applied at recovery
@@ -182,7 +188,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.sessionsLive.Add(1)
 	if !reserved {
 		// Drain swept the reservation while the node was being built; don't
-		// resurrect a session past drain — tear it down and shed.
+		// resurrect a session past drain — tear it down and shed. The client
+		// gets 503 and the session never existed publicly, so the WAL that
+		// initWAL just created must not survive either: a "drain" shutdown
+		// keeps files, which would resurrect this never-acknowledged session
+		// as a ghost at the next boot.
+		sess.retirePersist()
 		sess.shutdown("drain")
 		s.shed(r, "draining")
 		s.writeErr(w, r, http.StatusServiceUnavailable, fmt.Errorf("httpd: draining"))
@@ -392,8 +403,10 @@ drain:
 	// Persistence teardown. The worker is dead and admission handlers see
 	// stopped, so appends have ceased. An explicit destroy (api) and a TTL
 	// eviction delete the session's files — a destroyed session must not
-	// resurrect at the next boot. Drain keeps them (surviving a restart is
-	// the whole point) after one final snapshot attempt.
+	// resurrect at the next boot. Those callers retire the files *before*
+	// releasing the name from the pool map (see retirePersist); the call
+	// here is an idempotent backstop. Drain keeps the files (surviving a
+	// restart is the whole point) after one final snapshot attempt.
 	if sess.wal != nil {
 		if reason == "drain" {
 			sess.snapshotNow(s, true)
@@ -403,7 +416,7 @@ drain:
 		sess.wal = nil
 		sess.mu.Unlock()
 		if reason != "drain" {
-			_ = durable.RemoveSession(s.cfg.PersistDir, sess.name)
+			sess.retirePersist()
 		}
 	}
 	s.emit(events.SessionDestroy, map[string]any{
@@ -450,16 +463,29 @@ func sortSessionInfos(infos []map[string]any) {
 
 func (s *Server) handleDestroySession(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
+	s.mu.RLock()
 	sess := s.sessions[name]
-	if sess != nil {
-		delete(s.sessions, name)
-	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if sess == nil {
 		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("httpd: no session %q", name))
 		return
 	}
+	// Persist files go away while the name is still owned by the pool map.
+	// Releasing the name first would open a window where a same-name create
+	// writes a fresh WAL that this session's teardown then unlinks —
+	// silently dropping the new incarnation's acked commands at the next
+	// restart.
+	sess.retirePersist()
+	s.mu.Lock()
+	if s.sessions[name] != sess {
+		// Lost the race with a concurrent destroy or TTL eviction; the
+		// winner owns the teardown.
+		s.mu.Unlock()
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("httpd: no session %q", name))
+		return
+	}
+	delete(s.sessions, name)
+	s.mu.Unlock()
 	sess.shutdown("api")
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"destroyed": name})
 }
