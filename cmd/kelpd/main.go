@@ -20,7 +20,13 @@
 //	curl localhost:8080/sessions/a/metrics
 //	curl localhost:8080/healthz
 //	curl 'localhost:8080/sessions/a/events?type=kelp.actuate'
+//	curl -N localhost:8080/sessions/a/events/stream   # live SSE feed
 //	curl -XDELETE localhost:8080/sessions/a
+//
+// GET / serves an embedded single-file dashboard: live health tiles over
+// /healthz and a scrolling event feed over the /events/stream SSE
+// endpoint (long-poll fallback when EventSource is unavailable). No
+// external assets — the binary is the whole deployment.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: admission stops (new
 // sessions and advance jobs answer 503), queued jobs finish — or are
@@ -221,7 +227,7 @@ func run(c config) error {
 		}
 		close(errc)
 	}()
-	log.Printf("kelpd: default policy %s, %d session slots, queue depth %d, rate %.0f/s, listening on %s",
+	log.Printf("kelpd: default policy %s, %d session slots, queue depth %d, rate %.0f/s, listening on %s (dashboard at /, live events at /events/stream)",
 		c.policy, c.maxSessions, c.queueDepth, c.rate, c.addr)
 
 	sigc := make(chan os.Signal, 1)

@@ -17,6 +17,11 @@
 // how the clients interleave. -verify N replays N sampled sessions
 // serially afterwards and fails if /events or /metrics diverge.
 //
+// -stream N verifies live streaming after the run: N sessions' SSE feeds
+// (/events/stream) must be byte-identical to cursor polling, with gap
+// detection via oldest_seq, plus a dashboard smoke test (GET / serves the
+// embedded page; the server-level stream delivers an event).
+//
 // -check turns the report into a verdict: exit 1 on any transport error,
 // any non-shed 5xx, fewer than -min-shed shed requests, or a heap above
 // -max-heap-mb. Shed answers (429, and 503 with Retry-After) are counted
@@ -62,6 +67,7 @@ func main() {
 	flag.StringVar(&c.policy, "policy", "KP", "session policy")
 	flag.Int64Var(&c.seed, "seed", 1, "seed for verify sampling")
 	flag.IntVar(&c.verify, "verify", 0, "replay N sampled sessions serially and compare events+metrics")
+	flag.IntVar(&c.stream, "stream", 0, "verify N sessions' SSE streams byte-identical to cursor polling, plus a dashboard smoke test")
 	flag.BoolVar(&c.check, "check", false, "exit nonzero on failures, unexpected sheds, or heap overrun")
 	flag.IntVar(&c.minShed, "min-shed", 0, "with -check, require at least this many shed requests")
 	flag.IntVar(&c.maxHeapMB, "max-heap-mb", 0, "with -check, fail if post-run heap exceeds this (0 = no bound)")
@@ -93,6 +99,7 @@ type cfg struct {
 	inprocess, admit, check     bool
 	sessions, clients, requests int
 	verify, minShed, maxHeapMB  int
+	stream                      int
 	maxSessions, queueDepth     int
 	crash, snapshotEvery        int
 	ms, rate                    float64
@@ -189,6 +196,9 @@ func run(c *cfg, out io.Writer) error {
 	var verifyErr error
 	if c.verify > 0 {
 		verifyErr = verifySessions(out, client, base, c)
+	}
+	if verifyErr == nil && c.stream > 0 {
+		verifyErr = verifyStreams(out, client, base, c)
 	}
 
 	if c.check {

@@ -1,0 +1,197 @@
+package main
+
+// -stream N verification: after the load run, sample N sessions and prove
+// the SSE endpoint is trustworthy — the streamed event sequence must be
+// byte-identical to the cursor-polled one (same frames, same JSON bytes,
+// same order, no gaps), and the embedded dashboard must actually serve.
+// This is the live-streaming analog of -verify's replay check: polling is
+// the ground truth (it reads the ring directly), streaming must agree.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// streamPage bounds one cursor-poll page; small enough to force several
+// pages per session so the pagination + gap-detection path is exercised.
+const streamPage = 64
+
+// sseFrame is one parsed "id:/data:" SSE frame.
+type sseFrame struct {
+	id   uint64
+	data string
+}
+
+// verifyStreams runs the -stream mode: per sampled session, poll the full
+// event list by cursor (failing on any detected gap), stream the same span
+// over SSE, and byte-compare. Ends with a dashboard smoke test: GET / must
+// serve the embedded page and the server-level stream must deliver at
+// least one event.
+func verifyStreams(out io.Writer, client *http.Client, base string, c *cfg) error {
+	checked := 0
+	for i := 0; i < c.sessions && checked < c.stream; i++ {
+		name := fmt.Sprintf("load-%d", i)
+		if status, _, err := doReq(client, "GET", base+"/sessions/"+name, "", "stream"); err != nil || status != 200 {
+			continue // shed during the run; nothing to stream
+		}
+		raws, seqs, err := pollAllEvents(client, base+"/sessions/"+name+"/events")
+		if err != nil {
+			return fmt.Errorf("stream: poll %s: %w", name, err)
+		}
+		if len(seqs) == 0 {
+			continue // no events to compare (create-only script)
+		}
+		frames, err := readStream(client, base+"/sessions/"+name+"/events/stream?since=0", seqs[len(seqs)-1])
+		if err != nil {
+			return fmt.Errorf("stream: %s: %w", name, err)
+		}
+		if len(frames) != len(seqs) {
+			return fmt.Errorf("stream: %s delivered %d frames, polled %d events", name, len(frames), len(seqs))
+		}
+		for k := range frames {
+			if frames[k].id != seqs[k] {
+				return fmt.Errorf("stream: %s frame %d has id %d, polled seq %d", name, k, frames[k].id, seqs[k])
+			}
+			if frames[k].data != string(raws[k]) {
+				return fmt.Errorf("stream: %s seq %d diverged:\n  streamed: %s\n  polled:   %s",
+					name, seqs[k], frames[k].data, raws[k])
+			}
+		}
+		fmt.Fprintf(out, "stream: %s byte-identical to polling (%d events)\n", name, len(seqs))
+		checked++
+	}
+	if checked < c.stream {
+		return fmt.Errorf("stream: only %d of %d requested sessions were streamable", checked, c.stream)
+	}
+	return dashboardSmoke(out, client, base)
+}
+
+// pollAllEvents pages through a session's event list with a since cursor.
+// Contiguity is the contract: within one uninterrupted session every seq
+// from 1 must still be buffered, so a page whose first event jumps past
+// cursor+1 is a real gap — detected, per the oldest_seq field, not
+// inferred from silence.
+func pollAllEvents(client *http.Client, url string) ([]json.RawMessage, []uint64, error) {
+	var raws []json.RawMessage
+	var seqs []uint64
+	var cursor uint64
+	for {
+		status, body, err := doReq(client, "GET",
+			fmt.Sprintf("%s?since=%d&limit=%d", url, cursor, streamPage), "", "stream")
+		if err != nil {
+			return nil, nil, err
+		}
+		if status != 200 {
+			return nil, nil, fmt.Errorf("GET %s = %d", url, status)
+		}
+		var page struct {
+			Events    []json.RawMessage `json:"events"`
+			OldestSeq uint64            `json:"oldest_seq"`
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			return nil, nil, err
+		}
+		if len(page.Events) == 0 {
+			return raws, seqs, nil
+		}
+		for _, raw := range page.Events {
+			var e struct {
+				Seq uint64 `json:"seq"`
+			}
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, nil, err
+			}
+			if e.Seq != cursor+1 {
+				return nil, nil, fmt.Errorf(
+					"detected gap: events in (%d, %d) missing (oldest_seq=%d)",
+					cursor, e.Seq, page.OldestSeq)
+			}
+			cursor = e.Seq
+			raws = append(raws, raw)
+			seqs = append(seqs, e.Seq)
+		}
+	}
+}
+
+// readStream reads SSE frames from url until a frame with id >= until
+// arrives, then hangs up (exercising the server's disconnect teardown).
+// Comment lines (the opening cursor report, heartbeats) are skipped.
+func readStream(client *http.Client, url string, until uint64) ([]sseFrame, error) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Kelp-Client", "stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return nil, fmt.Errorf("GET %s Content-Type = %q, want text/event-stream", url, ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var frames []sseFrame
+	var cur sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary
+			if cur.data != "" {
+				frames = append(frames, cur)
+				if cur.id >= until {
+					return frames, nil
+				}
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad id line %q: %w", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		case strings.HasPrefix(line, ":"): // comment / heartbeat
+		default:
+			return nil, fmt.Errorf("unexpected stream line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return frames, fmt.Errorf("stream ended before seq %d", until)
+}
+
+// dashboardSmoke asserts the embedded dashboard serves at / and that the
+// server-level stream it relies on delivers at least one event.
+func dashboardSmoke(out io.Writer, client *http.Client, base string) error {
+	status, page, err := doReq(client, "GET", base+"/", "", "stream")
+	if err != nil {
+		return fmt.Errorf("dashboard: %w", err)
+	}
+	if status != 200 {
+		return fmt.Errorf("dashboard: GET / = %d", status)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "EventSource", "/events/stream"} {
+		if !strings.Contains(page, want) {
+			return fmt.Errorf("dashboard: page missing %q", want)
+		}
+	}
+	frames, err := readStream(client, base+"/events/stream?since=0", 1)
+	if err != nil {
+		return fmt.Errorf("dashboard: server stream: %w", err)
+	}
+	fmt.Fprintf(out, "dashboard: page served, server stream delivered seq %d\n", frames[0].id)
+	return nil
+}

@@ -11,10 +11,13 @@
 // events in the same order with the same sequence numbers.
 //
 // Emitters hold a *Recorder and call Emit; a nil *Recorder is a valid no-op
-// target, so instrumented code needs no nil checks. Consumers either poll
-// with Since (the kelpd GET /events endpoint does exactly this) or attach a
-// Sink for synchronous, per-type-filtered delivery (the -events JSONL flag
-// of kelpbench/kelpsim).
+// target, so instrumented code needs no nil checks. Consumers poll with
+// Since (the kelpd GET /events endpoint does exactly this), attach a Sink
+// for in-order, per-type-filtered delivery (the -events JSONL flag of
+// kelpbench/kelpsim), or Watch for a push subscription with a bounded
+// per-subscriber buffer (the kelpd SSE stream endpoints). Sink and
+// subscription fan-out happens outside the recorder's mutex, so a slow or
+// re-entrant consumer never stalls Emit.
 package events
 
 import (
@@ -209,9 +212,14 @@ type Event struct {
 	Fields map[string]any `json:"fields,omitempty"`
 }
 
-// Sink receives events synchronously as they are emitted. Sinks run under
-// the recorder's lock and must be fast and non-blocking; slow consumers
-// should poll Since instead.
+// Sink receives events as they are emitted, in sequence order. Sinks run
+// outside the recorder's lock, so a sink may freely call back into the
+// recorder — including Emit — without deadlocking, and a slow sink never
+// blocks concurrent emitters (they enqueue their event and return; the
+// goroutine currently fanning out delivers it). Delivery is serialized:
+// at most one sink invocation is in flight per recorder, so a sink needs
+// no internal locking against itself. Consumers that should never delay
+// delivery at all can poll Since or attach a Subscription (Watch) instead.
 type Sink func(Event)
 
 // DefaultCapacity is the ring size used when callers don't care: large
@@ -229,6 +237,15 @@ type Recorder struct {
 	nextSeq uint64 // seq the next event will get
 	dropped uint64 // events evicted by capacity pressure
 	sinks   []sinkEntry
+	subs    []*Subscription
+
+	// Fan-out state (guarded by mu). Emitted events queue on pending and
+	// exactly one goroutine at a time — the fanner — drains the queue with
+	// mu released, delivering to sinks and subscriptions in seq order. A
+	// sink that re-enters Emit, or an emitter racing a slow sink, appends
+	// to pending and returns immediately instead of blocking.
+	pending []Event
+	fanning bool
 }
 
 type sinkEntry struct {
@@ -254,8 +271,9 @@ func MustNew(capacity int) *Recorder {
 	return r
 }
 
-// AttachSink registers a synchronous consumer. With no types listed the
-// sink sees every event; otherwise only the listed types.
+// AttachSink registers an in-order consumer (see Sink for the delivery
+// contract). With no types listed the sink sees every event; otherwise
+// only the listed types.
 func (r *Recorder) AttachSink(s Sink, types ...Type) {
 	if r == nil || s == nil {
 		return
@@ -287,12 +305,21 @@ func (r *Recorder) Enabled() bool { return r != nil }
 
 // Emit records one event, stamping its sequence number. Calling Emit on a
 // nil recorder is a no-op.
+//
+// Sinks and subscriptions are fed outside the recorder mutex: Emit appends
+// the stamped event to a pending queue and, unless another goroutine is
+// already fanning out, drains the queue itself with the lock released. The
+// recorder's state (ring, counters, Since) is therefore never held hostage
+// by a consumer, a sink may re-enter the recorder, and a stalled
+// subscription only ever drops its own events. When another goroutine is
+// mid-fan-out, Emit returns after enqueueing; that fanner delivers the
+// event, still in seq order. In single-goroutine use every Emit has
+// delivered to all sinks by the time it returns, exactly as before.
 func (r *Recorder) Emit(time float64, t Type, source string, fields map[string]any) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e := Event{Seq: r.nextSeq, Time: time, Type: t, Source: source, Fields: fields}
 	r.nextSeq++
 	if r.size == len(r.ring) {
@@ -302,11 +329,45 @@ func (r *Recorder) Emit(time float64, t Type, source string, fields map[string]a
 	}
 	r.ring[(r.start+r.size)%len(r.ring)] = e
 	r.size++
-	for _, se := range r.sinks {
-		if se.types == nil || se.types[t] {
-			se.sink(e)
-		}
+	if len(r.sinks) == 0 && len(r.subs) == 0 {
+		r.mu.Unlock()
+		return
 	}
+	r.pending = append(r.pending, e)
+	if r.fanning {
+		// The current fanner's drain loop will deliver this event.
+		r.mu.Unlock()
+		return
+	}
+	r.fanning = true
+	r.fanOutLocked()
+	r.mu.Unlock()
+}
+
+// fanOutLocked drains the pending queue, delivering each event to every
+// matching sink and subscription in seq order. Called with r.mu held and
+// r.fanning true; releases and reacquires the lock around deliveries and
+// leaves it held (with fanning cleared) on return.
+func (r *Recorder) fanOutLocked() {
+	for len(r.pending) > 0 {
+		batch := r.pending
+		r.pending = nil
+		sinks := r.sinks
+		subs := r.subs
+		r.mu.Unlock()
+		for _, e := range batch {
+			for _, se := range sinks {
+				if se.types == nil || se.types[e.Type] {
+					se.sink(e)
+				}
+			}
+			for _, sub := range subs {
+				sub.push(e)
+			}
+		}
+		r.mu.Lock()
+	}
+	r.fanning = false
 }
 
 // Len returns the number of events currently buffered.
@@ -366,7 +427,29 @@ func (r *Recorder) SinceLimit(after uint64, limit int, types ...Type) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Event
-	for i := 0; i < r.size; i++ {
+	i := 0
+	if r.size > 0 {
+		// The ring is normally seq-contiguous (Emit assigns consecutive
+		// seqs and evicts from the front), so the cursor position can be
+		// computed directly instead of scanning past every stale entry —
+		// this is what keeps per-event stream wakeups O(result), not
+		// O(capacity). Restore can in principle install an arbitrary
+		// event list, so contiguity is verified in O(1) first.
+		oldest := r.ring[r.start].Seq
+		newest := r.ring[(r.start+r.size-1)%len(r.ring)].Seq
+		if newest-oldest == uint64(r.size-1) && after >= oldest {
+			if after >= newest {
+				// Cursor at or past the newest event (uint64 "since"
+				// cursors can be arbitrarily large): nothing to return.
+				// Computed before the subtraction below so it cannot
+				// overflow int.
+				i = r.size
+			} else {
+				i = int(after - oldest + 1)
+			}
+		}
+	}
+	for ; i < r.size; i++ {
 		if limit > 0 && len(out) >= limit {
 			break
 		}

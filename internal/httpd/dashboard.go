@@ -1,0 +1,153 @@
+package httpd
+
+// The kelpd dashboard: one embedded HTML page, no external assets, no
+// build step. Tiles poll /healthz; the event feed rides /events/stream
+// (SSE) and falls back to long-polling /events?since=N when EventSource
+// is unavailable or the stream errors repeatedly. Keeping it a single
+// Go string means the binary is the deployment artifact — the page can
+// never skew against the API it fronts.
+
+import "net/http"
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	tw := &textWriter{w: w}
+	_, _ = tw.Write([]byte(dashboardHTML))
+	s.noteWriteFailure(w, r, tw.err)
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>kelpd</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #0d1117; color: #c9d1d9; }
+  header { padding: 10px 16px; border-bottom: 1px solid #21262d;
+           display: flex; align-items: baseline; gap: 12px; }
+  header h1 { margin: 0; font-size: 15px; color: #58a6ff; }
+  #conn { font-size: 11px; color: #8b949e; }
+  #conn.live { color: #3fb950; }
+  #conn.poll { color: #d29922; }
+  #conn.down { color: #f85149; }
+  #tiles { display: flex; flex-wrap: wrap; gap: 10px; padding: 12px 16px; }
+  .tile { background: #161b22; border: 1px solid #21262d; border-radius: 6px;
+          padding: 8px 14px; min-width: 96px; }
+  .tile .k { font-size: 10px; text-transform: uppercase; letter-spacing: .08em;
+             color: #8b949e; }
+  .tile .v { font-size: 20px; color: #e6edf3; }
+  .tile.bad .v { color: #f85149; }
+  #feedwrap { padding: 0 16px 16px; }
+  #feed { background: #161b22; border: 1px solid #21262d; border-radius: 6px;
+          height: 60vh; overflow-y: auto; padding: 6px 10px; white-space: pre-wrap;
+          word-break: break-all; }
+  .ev { border-bottom: 1px solid #21262d44; padding: 1px 0; }
+  .ev .seq { color: #8b949e; }
+  .ev .type { color: #58a6ff; }
+  .ev .src { color: #d2a8ff; }
+</style>
+</head>
+<body>
+<header>
+  <h1>kelpd</h1>
+  <span id="conn">connecting&hellip;</span>
+</header>
+<div id="tiles"></div>
+<div id="feedwrap"><div id="feed"></div></div>
+<script>
+"use strict";
+var TILE_KEYS = ["status","sessions","jobs_queued","jobs_running","jobs_done",
+                 "degraded_sessions","shed_total","write_errors","panics"];
+var MAX_ROWS = 500;
+var conn = document.getElementById("conn");
+var tilesEl = document.getElementById("tiles");
+var feed = document.getElementById("feed");
+var lastSeq = 0;
+
+function setConn(cls, text) { conn.className = cls; conn.textContent = text; }
+
+function renderTiles(h) {
+  tilesEl.textContent = "";
+  TILE_KEYS.forEach(function (k) {
+    if (!(k in h)) return;
+    var d = document.createElement("div");
+    d.className = "tile" + ((k === "status" && h[k] !== "ok") ? " bad" : "");
+    var kk = document.createElement("div"); kk.className = "k"; kk.textContent = k;
+    var vv = document.createElement("div"); vv.className = "v"; vv.textContent = String(h[k]);
+    d.appendChild(kk); d.appendChild(vv); tilesEl.appendChild(d);
+  });
+}
+
+function pollHealth() {
+  fetch("/healthz").then(function (r) { return r.json(); })
+    .then(renderTiles)
+    .catch(function () { setConn("down", "healthz unreachable"); });
+}
+
+function addEvent(e) {
+  if (e.seq <= lastSeq) return;
+  lastSeq = e.seq;
+  var row = document.createElement("div");
+  row.className = "ev";
+  var seq = document.createElement("span"); seq.className = "seq";
+  seq.textContent = "#" + e.seq + " t=" + Number(e.time).toFixed(3) + "s ";
+  var type = document.createElement("span"); type.className = "type";
+  type.textContent = e.type + " ";
+  var src = document.createElement("span"); src.className = "src";
+  src.textContent = "[" + e.source + "] ";
+  row.appendChild(seq); row.appendChild(type); row.appendChild(src);
+  if (e.fields) row.appendChild(document.createTextNode(JSON.stringify(e.fields)));
+  var pinned = feed.scrollTop + feed.clientHeight >= feed.scrollHeight - 8;
+  feed.appendChild(row);
+  while (feed.childNodes.length > MAX_ROWS) feed.removeChild(feed.firstChild);
+  if (pinned) feed.scrollTop = feed.scrollHeight;
+}
+
+// --- live feed: SSE first, long-poll fallback ---
+var sseErrors = 0;
+var polling = false;
+
+function startSSE() {
+  if (typeof EventSource === "undefined") { startPolling(); return; }
+  var es = new EventSource("/events/stream?since=" + lastSeq);
+  es.onopen = function () { sseErrors = 0; setConn("live", "live (sse)"); };
+  es.onmessage = function (m) {
+    try { addEvent(JSON.parse(m.data)); } catch (err) { /* skip bad frame */ }
+  };
+  es.onerror = function () {
+    setConn("down", "stream lost; retrying");
+    sseErrors++;
+    if (sseErrors >= 3) { es.close(); startPolling(); }
+    // Otherwise EventSource auto-reconnects with Last-Event-ID.
+  };
+}
+
+function startPolling() {
+  if (polling) return;
+  polling = true;
+  setConn("poll", "long-poll fallback");
+  (function loop() {
+    fetch("/events?since=" + lastSeq + "&limit=200")
+      .then(function (r) { return r.json(); })
+      .then(function (body) {
+        (body.events || []).forEach(addEvent);
+        setConn("poll", "long-poll fallback");
+        setTimeout(loop, 1000);
+      })
+      .catch(function () {
+        setConn("down", "events unreachable; retrying");
+        setTimeout(loop, 3000);
+      });
+  })();
+}
+
+pollHealth();
+setInterval(pollHealth, 2000);
+startSSE();
+</script>
+</body>
+</html>
+`

@@ -14,6 +14,7 @@ type eventsResponse struct {
 	Events    []events.Event `json:"events"`
 	NextSince uint64         `json:"next_since"`
 	Dropped   uint64         `json:"dropped"`
+	OldestSeq uint64         `json:"oldest_seq"`
 }
 
 func getEvents(t testing.TB, url string) (eventsResponse, string) {

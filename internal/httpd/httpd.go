@@ -20,8 +20,10 @@
 // against a fresh session produces byte-identical /metrics and /events,
 // no matter how many other sessions run concurrently.
 //
+//	GET    /                             embedded live dashboard (HTML, no external deps)
 //	GET    /healthz                      liveness snapshot (lock-free)
 //	GET    /events                       server control-plane events (server.*, session.*)
+//	GET    /events/stream                server control-plane events, live (SSE)
 //	GET    /sessions                     list sessions
 //	POST   /sessions                     create a session {"name","policy","faults","event_capacity","seed"}
 //	GET    /sessions/{name}              one session's status
@@ -34,6 +36,7 @@
 //	GET    /sessions/{name}/jobs/{id}    one job's status
 //	GET    /sessions/{name}/metrics      Prometheus text format
 //	GET    /sessions/{name}/events       session flight recorder (?since/type/limit)
+//	GET    /sessions/{name}/events/stream  session flight recorder, live (SSE)
 //	GET    /sessions/{name}/fs/{path...} read a control file or list a directory
 //	PUT    /sessions/{name}/fs/{path...} write a control file (body = value)
 //	POST   /sessions/{name}/fs/{path...} mkdir
@@ -122,6 +125,16 @@ type Config struct {
 	// slower). Sessions whose workload or fault spec declines snapshotting
 	// fall back to full replay regardless.
 	SnapshotEvery int
+	// StreamHeartbeat is the idle-keepalive period of the SSE stream
+	// endpoints: a comment line is written whenever this long passes with
+	// no event, so proxies and clients can tell a quiet stream from a dead
+	// one. 0 selects 15s; negative disables heartbeats.
+	StreamHeartbeat time.Duration
+	// StreamBuffer is each SSE subscriber's bounded event buffer. A
+	// consumer that falls behind it has events dropped from its buffer
+	// (never from the recorder) and the stream transparently backfills
+	// from the ring. 0 selects 256.
+	StreamBuffer int
 	// Clock supplies wall time for TTLs, rate limiting, job timeouts and
 	// server-event timestamps; nil selects time.Now. Tests inject a fake.
 	Clock func() time.Time
@@ -160,6 +173,12 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 16
 	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
 	if c.DefaultPolicy == "" {
 		c.DefaultPolicy = "KP"
 	}
@@ -183,6 +202,13 @@ type Server struct {
 	draining atomic.Bool
 	janitor  chan struct{} // closed to stop the TTL janitor
 	janDone  chan struct{}
+
+	// streamsDone is closed (once) after Drain/Close finishes tearing
+	// sessions down — i.e. after the final session.destroy event has been
+	// emitted — so open SSE handlers flush their tail and return before
+	// the listener shuts down.
+	streamsDone chan struct{}
+	streamsOnce sync.Once
 
 	// Lock-free health counters; /healthz reads only these.
 	sessionsLive     atomic.Int64
@@ -214,12 +240,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("httpd: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		start:    cfg.Clock(),
-		rec:      rec,
-		sessions: make(map[string]*Session),
-		janitor:  make(chan struct{}),
-		janDone:  make(chan struct{}),
+		cfg:         cfg,
+		start:       cfg.Clock(),
+		rec:         rec,
+		sessions:    make(map[string]*Session),
+		janitor:     make(chan struct{}),
+		janDone:     make(chan struct{}),
+		streamsDone: make(chan struct{}),
 	}
 	if cfg.RateLimit > 0 {
 		s.limit = newRateLimiter(cfg.RateLimit, float64(cfg.RateBurst), cfg.Clock)
@@ -267,8 +294,10 @@ func (s *Server) Handler() http.Handler {
 // directly so handler panics surface instead of being converted to 500s.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /events", s.handleServerEvents)
+	mux.HandleFunc("GET /events/stream", s.handleServerEventStream)
 	mux.HandleFunc("GET /sessions", s.handleListSessions)
 	mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /sessions/{name}", s.withSession(handleSessionInfo))
@@ -281,6 +310,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /sessions/{name}/jobs/{id}", s.withSession(handleJobGet))
 	mux.HandleFunc("GET /sessions/{name}/metrics", s.withSession(handleMetrics))
 	mux.HandleFunc("GET /sessions/{name}/events", s.withSession(handleEvents))
+	mux.HandleFunc("GET /sessions/{name}/events/stream", s.withSession(handleSessionEventStream))
 	mux.HandleFunc("/sessions/{name}/fs/{path...}", s.withSession(handleFS))
 	return mux
 }
@@ -349,13 +379,25 @@ func (s *Server) handleServerEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		if rec, ok := w.(*responseRecorder); !ok || rec.noteWriteError() {
-			s.writeErrors.Add(1)
-			s.emit(events.ServerWriteError, map[string]any{
-				"path": r.URL.Path, "error": err.Error(),
-			})
-		}
+	s.noteWriteFailure(w, r, json.NewEncoder(w).Encode(v))
+}
+
+// noteWriteFailure records one response-write failure through the
+// once-per-request latch: the first failed write of a request bumps
+// writeErrors and emits server.write_error; later failures of the same
+// request (a hung-up client fails every subsequent write) stay silent.
+// Every handler that writes a body — JSON, Prometheus text, fs reads, SSE
+// frames — reports through here so client hangups are counted uniformly.
+// A nil err is a no-op.
+func (s *Server) noteWriteFailure(w http.ResponseWriter, r *http.Request, err error) {
+	if err == nil {
+		return
+	}
+	if rec, ok := w.(*responseRecorder); !ok || rec.noteWriteError() {
+		s.writeErrors.Add(1)
+		s.emit(events.ServerWriteError, map[string]any{
+			"path": r.URL.Path, "error": err.Error(),
+		})
 	}
 }
 
@@ -441,6 +483,14 @@ func (s *Server) Close() {
 		sess.cancel.Store(true)
 		sess.shutdown("drain")
 	}
+	s.stopStreams()
+}
+
+// stopStreams releases every open SSE handler: each flushes events emitted
+// so far — including the session.destroy tail of a drain — and returns.
+// Idempotent; called at the end of both Drain and Close.
+func (s *Server) stopStreams() {
+	s.streamsOnce.Do(func() { close(s.streamsDone) })
 }
 
 func (s *Server) stopJanitor() {

@@ -336,6 +336,11 @@ func (s *Server) Drain(ctx context.Context) {
 	for _, sess := range all {
 		sess.shutdown("drain")
 	}
+
+	// Every session.destroy event is now in the server recorder; end the
+	// server-level SSE streams so watchers see the full shutdown narrative
+	// before EOF.
+	s.stopStreams()
 }
 
 // cancelAll flags every session so running jobs stop at the next chunk.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"kelp/internal/events"
@@ -41,11 +42,40 @@ func (rr *responseRecorder) Write(p []byte) (int, error) {
 }
 
 // noteWriteError reports whether this is the request's first write error;
-// writeJSON logs and counts only the first.
+// noteWriteFailure logs and counts only the first.
 func (rr *responseRecorder) noteWriteError() bool {
 	first := !rr.writeErrorLog
 	rr.writeErrorLog = true
 	return first
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the logging wrapper.
+func (rr *responseRecorder) Flush() {
+	if f, ok := rr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// textWriter accumulates the first write error of a plain-text response
+// (Prometheus /metrics, fs file reads) so handlers built from many
+// Fprintf calls report client hangups through the same once-per-request
+// latch as writeJSON, instead of silently discarding every error. After
+// the first failure subsequent writes are swallowed — the client is gone.
+type textWriter struct {
+	w   http.ResponseWriter
+	err error
+}
+
+func (tw *textWriter) Write(p []byte) (int, error) {
+	if tw.err != nil {
+		return len(p), nil
+	}
+	n, err := tw.w.Write(p)
+	if err != nil {
+		tw.err = err
+	}
+	return n, err
 }
 
 // logging wraps every request in a responseRecorder and, when AccessLog
@@ -124,9 +154,15 @@ func retryAfterSeconds(d time.Duration) int {
 
 // timeoutMW attaches the per-request deadline. Handlers that wait (the
 // advance wait=true path) honor it; CPU-bound work is bounded separately
-// by the per-job timeout.
+// by the per-job timeout. SSE streams are exempt: a stream is open-ended
+// by design and ends on client disconnect, session destroy, or drain —
+// a 10-second deadline would sever every live dashboard.
 func (s *Server) timeoutMW(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events/stream") {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
@@ -164,10 +200,18 @@ func (s *Server) clientKey(r *http.Request) string {
 	return host
 }
 
-// decodeJSONBody decodes one JSON value, rejecting trailing garbage.
+// decodeJSONBody decodes one JSON value, rejecting trailing garbage. An
+// entirely empty body decodes to v's zero value: every request-body field
+// in the API is documented optional, so `POST /sessions` with no body must
+// mean "all defaults", not `400 body: EOF`. Only a clean io.EOF (zero
+// bytes read) gets this treatment — a body that starts a JSON value and
+// ends mid-token still fails with unexpected EOF.
 func decodeJSONBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
+		if err == io.EOF {
+			return nil
+		}
 		return fmt.Errorf("httpd: body: %w", err)
 	}
 	if dec.More() {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,6 +45,7 @@ type Session struct {
 	jobs    chan *Job     // bounded FIFO advance queue
 	quit    chan struct{} // closed to stop the worker
 	dead    chan struct{} // closed when the worker has exited
+	gone    chan struct{} // closed by shutdown after the recorder is final; ends SSE streams
 	cancel  atomic.Bool   // running/queued jobs stop at the next chunk
 	jobMu   sync.Mutex    // guards table, order, nextID
 	table   map[uint64]*Job
@@ -282,6 +284,7 @@ func newSession(s *Server, name string, pol policy.Kind, a *agent.Agent) (*Sessi
 		jobs:    make(chan *Job, s.cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		dead:    make(chan struct{}),
+		gone:    make(chan struct{}),
 		table:   make(map[uint64]*Job),
 	}
 	sess.touch(sess.created)
@@ -422,6 +425,9 @@ drain:
 	s.emit(events.SessionDestroy, map[string]any{
 		"session": sess.name, "reason": reason, "jobs_canceled": canceled,
 	})
+	// Last: the worker is dead and the recorder is final, so open SSE
+	// streams on this session flush their tail and return EOF.
+	close(sess.gone)
 }
 
 // flushEvents writes the session's recorder to <dir>/<name>.jsonl.
@@ -453,12 +459,15 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sortSessionInfos orders listings by name. This runs on every GET
+// /sessions over the whole pool, so it must stay O(n log n): at the
+// 1024-session default the insertion sort it replaced performed ~500k
+// comparisons per list in the reverse-ordered worst case.
+// BenchmarkSortSessionInfos guards the shape.
 func sortSessionInfos(infos []map[string]any) {
-	for i := 1; i < len(infos); i++ {
-		for j := i; j > 0 && infos[j]["name"].(string) < infos[j-1]["name"].(string); j-- {
-			infos[j], infos[j-1] = infos[j-1], infos[j]
-		}
-	}
+	sort.Slice(infos, func(i, j int) bool {
+		return infos[i]["name"].(string) < infos[j]["name"].(string)
+	})
 }
 
 func (s *Server) handleDestroySession(w http.ResponseWriter, r *http.Request) {
@@ -630,33 +639,37 @@ func handleMetrics(s *Server, sess *Session, w http.ResponseWriter, r *http.Requ
 	// Peek: scraping must not consume the Kelp runtime's counter window.
 	sample := n.Monitor().Peek()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP kelp_socket_bandwidth_bytes Socket DRAM bandwidth, bytes/s.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_bandwidth_bytes gauge\n")
+	// All writes go through the textWriter so a client hangup mid-scrape
+	// lands in the write-error latch and counter, like every JSON response.
+	tw := &textWriter{w: w}
+	fmt.Fprintf(tw, "# HELP kelp_socket_bandwidth_bytes Socket DRAM bandwidth, bytes/s.\n")
+	fmt.Fprintf(tw, "# TYPE kelp_socket_bandwidth_bytes gauge\n")
 	for sock := range sample.SocketBW {
-		fmt.Fprintf(w, "kelp_socket_bandwidth_bytes{socket=\"%d\"} %.0f\n", sock, sample.SocketBW[sock])
+		fmt.Fprintf(tw, "kelp_socket_bandwidth_bytes{socket=\"%d\"} %.0f\n", sock, sample.SocketBW[sock])
 	}
-	fmt.Fprintf(w, "# HELP kelp_socket_latency_seconds Loaded memory latency.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_latency_seconds gauge\n")
+	fmt.Fprintf(tw, "# HELP kelp_socket_latency_seconds Loaded memory latency.\n")
+	fmt.Fprintf(tw, "# TYPE kelp_socket_latency_seconds gauge\n")
 	for sock := range sample.SocketLatency {
-		fmt.Fprintf(w, "kelp_socket_latency_seconds{socket=\"%d\"} %.3e\n", sock, sample.SocketLatency[sock])
+		fmt.Fprintf(tw, "kelp_socket_latency_seconds{socket=\"%d\"} %.3e\n", sock, sample.SocketLatency[sock])
 	}
-	fmt.Fprintf(w, "# HELP kelp_socket_saturation Distress signal duty cycle.\n")
-	fmt.Fprintf(w, "# TYPE kelp_socket_saturation gauge\n")
+	fmt.Fprintf(tw, "# HELP kelp_socket_saturation Distress signal duty cycle.\n")
+	fmt.Fprintf(tw, "# TYPE kelp_socket_saturation gauge\n")
 	for sock := range sample.SocketSaturation {
-		fmt.Fprintf(w, "kelp_socket_saturation{socket=\"%d\"} %.4f\n", sock, sample.SocketSaturation[sock])
+		fmt.Fprintf(tw, "kelp_socket_saturation{socket=\"%d\"} %.4f\n", sock, sample.SocketSaturation[sock])
 	}
-	fmt.Fprintf(w, "# HELP kelp_task_throughput Task work rate, units/s.\n")
-	fmt.Fprintf(w, "# TYPE kelp_task_throughput gauge\n")
+	fmt.Fprintf(tw, "# HELP kelp_task_throughput Task work rate, units/s.\n")
+	fmt.Fprintf(tw, "# TYPE kelp_task_throughput gauge\n")
 	for _, t := range n.Tasks() {
-		fmt.Fprintf(w, "kelp_task_throughput{task=%q} %.3f\n", t.Name(), t.Throughput(n.Now()))
+		fmt.Fprintf(tw, "kelp_task_throughput{task=%q} %.3f\n", t.Name(), t.Throughput(n.Now()))
 	}
 	if a := sess.agent.Applied(); a != nil && a.Runtime != nil {
-		fmt.Fprintf(w, "# HELP kelp_runtime_actuator Kelp actuator values.\n")
-		fmt.Fprintf(w, "# TYPE kelp_runtime_actuator gauge\n")
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_cores\"} %d\n", a.Runtime.LowCores())
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
-		fmt.Fprintf(w, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
+		fmt.Fprintf(tw, "# HELP kelp_runtime_actuator Kelp actuator values.\n")
+		fmt.Fprintf(tw, "# TYPE kelp_runtime_actuator gauge\n")
+		fmt.Fprintf(tw, "kelp_runtime_actuator{name=\"low_cores\"} %d\n", a.Runtime.LowCores())
+		fmt.Fprintf(tw, "kelp_runtime_actuator{name=\"low_prefetchers\"} %d\n", a.Runtime.LowPrefetchers())
+		fmt.Fprintf(tw, "kelp_runtime_actuator{name=\"backfill_cores\"} %d\n", a.Runtime.BackfillCores())
 	}
+	s.noteWriteFailure(w, r, tw.err)
 }
 
 func handleEvents(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) {
@@ -671,8 +684,12 @@ func handleEvents(s *Server, sess *Session, w http.ResponseWriter, r *http.Reque
 //
 // The response carries next_since, the seq of the last event returned (or
 // the request's since when nothing matched), so clients poll
-// incrementally. The recorder is internally locked; no session or pool
-// lock is taken here.
+// incrementally, and oldest_seq, the seq of the oldest event still
+// buffered: a poller whose since cursor is below oldest_seq-1 has provably
+// missed the evicted span (a detectable gap — the lifetime dropped counter
+// alone cannot distinguish "events I already saw were evicted" from
+// "events I never saw are gone"). The recorder is internally locked; no
+// session or pool lock is taken here.
 func serveEvents(s *Server, rec *events.Recorder, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var since uint64
@@ -710,6 +727,7 @@ func serveEvents(s *Server, rec *events.Recorder, w http.ResponseWriter, r *http
 		"events":     evs,
 		"next_since": next,
 		"dropped":    dropped,
+		"oldest_seq": rec.OldestSeq(),
 	})
 }
 
@@ -723,7 +741,9 @@ func handleFS(s *Server, sess *Session, w http.ResponseWriter, r *http.Request) 
 		// Try as a file, fall back to directory listing.
 		if data, err := sess.fs.ReadFile(path); err == nil {
 			w.Header().Set("Content-Type", "text/plain")
-			fmt.Fprintln(w, data)
+			tw := &textWriter{w: w}
+			fmt.Fprintln(tw, data)
+			s.noteWriteFailure(w, r, tw.err)
 			return
 		}
 		entries, err := sess.fs.ReadDir(path)
